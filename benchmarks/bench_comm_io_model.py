@@ -1,0 +1,72 @@
+"""Communication and I/O claims of paper Sections 4 & 6.
+
+* halo messages of 3-30 MB ("the corresponding message size ranges
+  between 3 MB and 30 MB");
+* interior compute hides the exchange ("the time spent in the node layer
+  is expected to be one order of magnitude larger than the communication
+  time");
+* the DT allreduce is latency-trivial yet serializes the kernel;
+* compressed dumps cost < 1 % of run time and save 10-100x of I/O time.
+"""
+
+from _common import write_result
+
+from repro.perf.network import (
+    TorusNetwork,
+    dump_analysis,
+    halo_message_bytes,
+    overlap_analysis,
+)
+from repro.perf.report import format_table
+
+
+def render() -> str:
+    net = TorusNetwork()
+    rows = []
+    for sub in (128, 256, 512, 640):
+        ov = overlap_analysis(sub, network=net)
+        rows.append(
+            {
+                "subdomain": f"{sub}^3",
+                "message [MB]": ov.message_bytes / 1e6,
+                "comm [ms]": ov.comm_seconds * 1e3,
+                "interior compute [ms]": ov.compute_seconds * 1e3,
+                "compute/comm": ov.ratio,
+            }
+        )
+    text = format_table(
+        rows,
+        "Halo exchange vs interior compute (paper: messages 3-30 MB,\n"
+        "compute ~one order of magnitude above comm)",
+    )
+
+    ar = net.allreduce_time(98304)
+    text += (
+        f"\n\nDT allreduce on 98304 nodes: {ar * 1e6:.1f} us "
+        "(vs ~ms kernel times: cheap in time, costly in serialization)"
+    )
+
+    dm = dump_analysis()
+    text += (
+        "\n\nProduction dump model (13.2e12 cells, p + Gamma):\n"
+        f"  uncompressed : {dm.uncompressed_bytes / 1e12:6.1f} TB -> "
+        f"{dm.io_seconds_uncompressed:6.1f} s\n"
+        f"  compressed   : {dm.compressed_bytes / 1e12:6.2f} TB -> "
+        f"{dm.io_seconds_compressed:6.1f} s\n"
+        f"  I/O time saving      : {dm.io_time_saving:5.1f}x "
+        "[paper: 10-100x]\n"
+        f"  fraction of run time : {100 * dm.dump_fraction_of_runtime:5.2f} % "
+        "[paper: < 1 %]"
+    )
+    return text
+
+
+def test_comm_io_model(benchmark):
+    text = benchmark(render)
+    write_result("comm_io_model", text)
+    net = TorusNetwork()
+    assert 3e6 < halo_message_bytes(256) < 30e6
+    assert overlap_analysis(512).ratio > 10.0
+    dm = dump_analysis()
+    assert dm.dump_fraction_of_runtime < 0.01
+    assert 10.0 < dm.io_time_saving < 100.0

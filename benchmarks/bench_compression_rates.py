@@ -1,0 +1,130 @@
+"""Paper Section 7 compression rates.
+
+"The observed compression rates were in the range of 20-10:1 for pressure
+and 150-100:1 for Gamma ...  The total uncompressed disk space is 7.9 TB
+whereas the compressed footprint amounts to 0.47 TB."
+
+Two sections:
+
+* measured rates on real (p, Gamma) fields from a small collapse run.
+  At 32^3 the bubble *interface fraction* is ~400x the production run's
+  (4 bubbles at ~3 cells/radius vs 15'000 at 50 p.p.r. in 13.2e12 cells),
+  which depresses the Gamma rate -- recorded honestly;
+* rates on production-like synthetic fields at 128^3 with a
+  paper-like interface fraction, where the paper's ordering
+  (Gamma >> p) and magnitudes reappear.
+
+Also reproduces the paper's AMR counter-argument: at solver-accuracy
+thresholds (1e-4 relative) the compression rate collapses toward 1:1,
+which is why AMR would not have paid off for this flow.
+"""
+
+import numpy as np
+import pytest
+from _common import collapse_fields, write_result
+
+from repro.compression.scheme import WaveletCompressor
+from repro.perf.report import format_table
+from repro.sim.cloud import Bubble
+from repro.sim.ic import cloud_collapse
+
+P_AMBIENT = 1000.0
+
+
+@pytest.fixture(scope="module")
+def sim_fields():
+    return collapse_fields(cells=32)
+
+
+def production_like_fields(n=128, seed=3):
+    """Synthetic (p, Gamma) at a production-like interface fraction."""
+    rng = np.random.default_rng(seed)
+    # Gamma: a few small, well-separated bubbles (~0.5 % interface cells).
+    bubbles = [
+        Bubble((0.3, 0.3, 0.3), 0.05),
+        Bubble((0.7, 0.6, 0.4), 0.04),
+        Bubble((0.5, 0.75, 0.7), 0.045),
+    ]
+    c = (np.arange(n) + 0.5) / n
+    state = cloud_collapse(bubbles, smoothing=1.0 / n)(
+        c[:, None, None], c[None, :, None], c[None, None, :]
+    )
+    gamma = state[..., 5].astype(np.float32)
+    # p: ambient + a few smooth traveling wave packets (broadband-ish).
+    z, y, x = np.meshgrid(c, c, c, indexing="ij")
+    p = P_AMBIENT * np.ones((n, n, n))
+    for _ in range(6):
+        k = rng.uniform(2, 10, size=3)
+        phase = rng.uniform(0, 2 * np.pi)
+        amp = rng.uniform(20, 120)
+        p += amp * np.sin(2 * np.pi * (k[0] * z + k[1] * y + k[2] * x) + phase)
+    return p.astype(np.float32), gamma
+
+
+def rates(p, gamma):
+    comp_p = WaveletCompressor(eps=1e-2 * P_AMBIENT, block_size=16,
+                               guaranteed=False)
+    comp_g = WaveletCompressor(eps=1e-3, block_size=16, guaranteed=False)
+    comp_amr = WaveletCompressor(eps=1e-4 * P_AMBIENT, block_size=16,
+                                 guaranteed=False)
+    return (
+        comp_p.compress(np.ascontiguousarray(p)),
+        comp_g.compress(np.ascontiguousarray(gamma)),
+        comp_amr.compress(np.ascontiguousarray(p)),
+    )
+
+
+def test_compression_rates_sim_fields(benchmark, sim_fields):
+    cf_p, cf_g, cf_amr = benchmark.pedantic(
+        rates, args=sim_fields, rounds=1, iterations=1
+    )
+    rows = [
+        {"quantity": "p (eps 1e-2 x ambient)", "rate": cf_p.stats.rate,
+         "paper": "10-20:1"},
+        {"quantity": "Gamma (eps 1e-3)", "rate": cf_g.stats.rate,
+         "paper": "100-150:1 (at 0.01% interface fraction)"},
+        {"quantity": "p (eps 1e-4, AMR-grade)", "rate": cf_amr.stats.rate,
+         "paper": "~1.15:1"},
+    ]
+    text = format_table(
+        rows,
+        "Compression rates, measured 32^3 collapse fields\n"
+        "(Gamma rate depressed by the ~400x larger interface fraction of "
+        "the laptop-scale run)",
+    )
+    write_result("compression_rates_sim", text)
+    # p matches the paper's window; AMR-grade thresholds gain much less.
+    assert 5.0 < cf_p.stats.rate < 60.0
+    assert cf_amr.stats.rate < 0.5 * cf_p.stats.rate
+
+
+def test_compression_rates_production_like(benchmark):
+    p, gamma = production_like_fields()
+    cf_p, cf_g, cf_amr = benchmark.pedantic(
+        rates, args=(p, gamma), rounds=1, iterations=1
+    )
+    total_raw = cf_p.stats.raw_bytes + cf_g.stats.raw_bytes
+    total_comp = cf_p.stats.compressed_bytes + cf_g.stats.compressed_bytes
+    rows = [
+        {"quantity": "p (eps 1e-2 x ambient)", "rate": cf_p.stats.rate,
+         "paper": "10-20:1"},
+        {"quantity": "Gamma (eps 1e-3)", "rate": cf_g.stats.rate,
+         "paper": "100-150:1"},
+        {"quantity": "p (eps 1e-4, AMR-grade)", "rate": cf_amr.stats.rate,
+         "paper": "~1.15:1"},
+    ]
+    text = format_table(
+        rows, "Compression rates, production-like 128^3 fields"
+    )
+    text += (
+        f"\n\ndump footprint: {total_raw / 1e6:.1f} MB -> "
+        f"{total_comp / 1e6:.3f} MB "
+        f"({total_raw / total_comp:.0f}:1 overall; paper: 7.9 TB -> 0.47 TB,"
+        " ~17:1)"
+    )
+    write_result("compression_rates_production_like", text)
+    # The paper's ordering and magnitudes.
+    assert cf_g.stats.rate > cf_p.stats.rate
+    assert cf_g.stats.rate > 50.0
+    assert 5.0 < cf_p.stats.rate < 80.0
+    assert cf_amr.stats.rate < cf_p.stats.rate

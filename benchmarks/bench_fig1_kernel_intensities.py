@@ -1,0 +1,49 @@
+"""Paper Fig. 1: the kernel pipeline and its operational intensities.
+
+Fig. 1 colors the kernels by operational intensity (blue = low,
+red = high) and lists the RHS stages CONV -> WENO -> HLLE -> SUM.  The
+bench renders that classification from the traffic model plus the ridge
+point of the BQC: RHS compute-bound, DT borderline, UP deep in the
+memory-bound region.
+"""
+
+from _common import write_result
+
+from repro.perf.machines import BGQ_NODE
+from repro.perf.kernels import RHS_STAGES
+from repro.perf.report import format_table
+from repro.perf.traffic import table3
+
+
+def render() -> str:
+    rows = []
+    for est in table3():
+        rows.append(
+            {
+                "kernel": est.kernel,
+                "OI [FLOP/B]": est.reordered_oi,
+                "regime": (
+                    "compute-bound"
+                    if est.reordered_oi > BGQ_NODE.ridge_point
+                    else "memory-bound"
+                ),
+            }
+        )
+    stage_rows = [
+        {"RHS stage": s.name, "instr share [%]": 100 * s.weight}
+        for s in RHS_STAGES
+    ]
+    return (
+        format_table(rows, f"Fig 1: kernel OI classification (ridge = "
+                           f"{BGQ_NODE.ridge_point:.1f} FLOP/B)")
+        + "\n\n"
+        + format_table(stage_rows, "Fig 1 (right): RHS pipeline stages")
+    )
+
+
+def test_fig1(benchmark):
+    text = benchmark(render)
+    write_result("fig1_kernel_intensities", text)
+    est = {e.kernel: e for e in table3()}
+    assert est["RHS"].reordered_oi > BGQ_NODE.ridge_point  # red kernel
+    assert est["UP"].reordered_oi < BGQ_NODE.ridge_point  # blue kernel

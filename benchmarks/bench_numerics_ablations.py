@@ -1,0 +1,122 @@
+"""Numerical-scheme ablations: the choices behind paper Section 3/5.
+
+* WENO5 vs WENO3: the paper opts for 5th-order space "to decrease the
+  total number of steps" and better capture sharp gradients -- measured
+  here as accuracy at equal resolution on a Sod tube;
+* HLLE vs HLLC: the paper ships HLLE; HLLC resolves material contacts
+  exactly at a few percent more flux arithmetic -- measured as contact
+  smearing width;
+* cost: wall time per RHS evaluation for each variant.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from _common import write_result
+
+from repro.cluster.driver import Simulation
+from repro.perf.report import format_table
+from repro.physics.eos import Material
+from repro.physics.exact_riemann import RiemannSide, sample, solve
+from repro.sim.config import SimulationConfig
+from repro.sim.ic import shock_tube
+
+IDEAL_GAS = Material(name="gas", gamma=1.4, pc=0.0)
+
+
+def run_sod(order: int, solver: str, cells_x: int = 96):
+    ic = shock_tube(
+        {"rho": 1.0, "p": 1.0}, {"rho": 0.125, "p": 0.1},
+        x0=0.5, axis=2, material_left=IDEAL_GAS, material_right=IDEAL_GAS,
+    )
+    cfg = SimulationConfig(
+        cells=(8, 8, cells_x), block_size=8, extent=1.0,
+        max_steps=10_000, t_end=0.2, diag_interval=0,
+        weno_order=order, riemann_solver=solver,
+    )
+    t0 = time.perf_counter()
+    res = Simulation(cfg, ic).run()
+    elapsed = time.perf_counter() - t0
+    rho = res.final_field[4, 4, :, 0].astype(np.float64)
+    x = (np.arange(cells_x) + 0.5) / cells_x
+    sol = solve(RiemannSide(1.0, 0.0, 1.0), RiemannSide(0.125, 0.0, 0.1))
+    exact, _, _ = sample(sol, (x - 0.5) / 0.2)
+    l1 = float(np.abs(rho - exact).mean())
+    # Contact smearing: cells needed to cross 10-90 % of the contact jump.
+    lo = sol.rho_star_r + 0.1 * (sol.rho_star_l - sol.rho_star_r)
+    hi = sol.rho_star_r + 0.9 * (sol.rho_star_l - sol.rho_star_r)
+    in_transition = (rho > lo) & (rho < hi) & (x > 0.55) & (x < 0.85)
+    width = int(in_transition.sum())
+    return {"L1 error": l1, "contact width [cells]": width,
+            "wall [s]": elapsed}
+
+
+@pytest.fixture(scope="module")
+def sod_matrix():
+    out = {}
+    for order in (3, 5):
+        for solver in ("hlle", "hllc"):
+            out[(order, solver)] = run_sod(order, solver)
+    return out
+
+
+def test_numerics_ablation(benchmark, sod_matrix):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        {"scheme": f"WENO{order}/{solver.upper()}", **vals}
+        for (order, solver), vals in sod_matrix.items()
+    ]
+    text = format_table(
+        rows,
+        "Numerics ablation on the Sod tube, 96 cells\n"
+        "(paper ships WENO5/HLLE; HLLC sharpens the contact, WENO5 cuts\n"
+        "the smooth-region error)",
+        floatfmt="{:.4f}",
+    )
+    write_result("numerics_ablation", text)
+
+    m = sod_matrix
+    # WENO5 beats WENO3 at equal resolution and flux.
+    assert m[(5, "hlle")]["L1 error"] < m[(3, "hlle")]["L1 error"]
+    # HLLC's contact is at least as sharp as HLLE's.
+    assert (
+        m[(5, "hllc")]["contact width [cells]"]
+        <= m[(5, "hlle")]["contact width [cells]"]
+    )
+
+
+def test_rhs_cost_by_scheme(benchmark):
+    """Per-evaluation kernel cost of the four scheme variants."""
+    from repro.core.kernels import rhs_kernel
+
+    rng = np.random.default_rng(0)
+    pad = np.zeros((22, 22, 22, 7), dtype=np.float32)
+    pad[..., 0] = 1000.0 * (1 + 0.01 * rng.normal(size=pad.shape[:3]))
+    pad[..., 4] = 1300.0
+    pad[..., 5] = 0.179
+    pad[..., 6] = 1212.0
+
+    def measure():
+        rows = []
+        for order in (3, 5):
+            for solver in ("hlle", "hllc"):
+                rhs_kernel(pad, 0.05, order=order, solver=solver)  # warm
+                t0 = time.perf_counter()
+                for _ in range(5):
+                    rhs_kernel(pad, 0.05, order=order, solver=solver)
+                rows.append(
+                    {
+                        "scheme": f"WENO{order}/{solver.upper()}",
+                        "ms/eval": (time.perf_counter() - t0) / 5 * 1e3,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = format_table(rows, "RHS kernel cost by scheme (16^3 block)",
+                        floatfmt="{:.2f}")
+    write_result("numerics_cost", text)
+    by = {r["scheme"]: r["ms/eval"] for r in rows}
+    # WENO3 is the cheaper reconstruction.
+    assert by["WENO3/HLLE"] < by["WENO5/HLLE"]

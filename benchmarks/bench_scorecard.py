@@ -1,0 +1,19 @@
+"""The reproduction scorecard: every headline number in one table.
+
+Companion to EXPERIMENTS.md -- regenerates the paper-vs-model comparison
+for all published performance quantities and asserts each sits inside its
+tolerance window.
+"""
+
+from _common import write_result
+
+from repro.perf.scorecard import format_scorecard, reproduction_scorecard
+
+
+def test_scorecard(benchmark):
+    text = benchmark(format_scorecard)
+    write_result("scorecard", text)
+    failures = [
+        r for r in reproduction_scorecard() if not r.within_tolerance
+    ]
+    assert not failures, [r.quantity for r in failures]

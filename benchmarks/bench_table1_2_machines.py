@@ -1,0 +1,27 @@
+"""Paper Tables 1 & 2: the BGQ installations and the BQC node.
+
+Pure specification tables -- the bench verifies the derivations (peak from
+cores x freq x SIMD x FMA) and renders them next to the paper's values.
+"""
+
+from _common import write_result
+
+from repro.perf.machines import bqc_table, machines_table
+from repro.perf.report import format_table
+
+
+def render() -> str:
+    lines = [format_table(machines_table(), "Table 1: BlueGene/Q supercomputers")]
+    lines.append("(paper: Sequoia 96/1.6e6/20.1, Juqueen 24/6.9e5/5.0, ZRL 1/1.6e4/0.2)")
+    lines.append("")
+    lines.append("Table 2: BQC performance table")
+    for k, v in bqc_table().items():
+        lines.append(f"  {k}: {v}")
+    lines.append("(paper: 16 cores 4-way SMT 1.6 GHz, 204.8 GFLOP/s, 185 GB/s L2, 28 GB/s DRAM)")
+    return "\n".join(lines)
+
+
+def test_tables_1_and_2(benchmark):
+    text = benchmark(render)
+    write_result("table1_2_machines", text)
+    assert "Sequoia" in text and "204.8" in text

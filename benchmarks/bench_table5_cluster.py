@@ -1,0 +1,88 @@
+"""Paper Table 5: achieved performance at 1 / 24 / 96 racks.
+
+The BGQ numbers come from the layer-composition model; alongside, the
+bench *measures* the simulated-cluster driver at 1/2/4 ranks on a fixed
+per-rank problem (weak scaling) to demonstrate that the software's
+communication structure keeps per-step cost flat as ranks are added --
+the property that makes the paper's 96-rack run possible.
+"""
+
+import time
+
+import pytest
+from _common import write_result
+
+from repro.cluster.driver import Simulation
+from repro.perf.report import format_table
+from repro.perf.scaling import table5
+from repro.sim.cloud import Bubble
+from repro.sim.config import SimulationConfig
+from repro.sim.ic import cloud_collapse
+
+PAPER_ROWS = {
+    1: {"RHS": 60, "DT": 7, "UP": 2, "ALL": 53},
+    24: {"RHS": 57, "DT": 5, "UP": 2, "ALL": 51},
+    96: {"RHS": 55, "DT": 5, "UP": 2, "ALL": 50},
+}
+
+
+def render_model() -> str:
+    rows = []
+    for row in table5():
+        racks = row["racks"]
+        rows.append(
+            {
+                "racks": racks,
+                "RHS [%]": row["RHS [%]"],
+                "DT [%]": row["DT [%]"],
+                "UP [%]": row["UP [%]"],
+                "ALL [%]": row["ALL [%]"],
+                "RHS [PF/s]": row["RHS [PFLOP/s]"],
+                "ALL [PF/s]": row["ALL [PFLOP/s]"],
+                "paper RHS/DT/UP/ALL [%]": "{RHS}/{DT}/{UP}/{ALL}".format(
+                    **PAPER_ROWS[racks]
+                ),
+            }
+        )
+    return format_table(rows, "Table 5: achieved performance (model vs paper)")
+
+
+def weak_scaling_measured():
+    """Per-step wall time with a constant per-rank subdomain."""
+    out = []
+    for ranks, cells in ((1, (16, 16, 16)), (2, (32, 16, 16)), (4, (32, 32, 16))):
+        cfg = SimulationConfig(
+            cells=cells, block_size=8, max_steps=2, ranks=ranks,
+            diag_interval=0, num_workers=2,
+        )
+        ic = cloud_collapse([Bubble((0.5, 0.5, 0.5), 0.2)])
+        t0 = time.perf_counter()
+        Simulation(cfg, ic).run()
+        per_step = (time.perf_counter() - t0) / 2
+        out.append({"ranks": ranks, "cells": str(cells),
+                    "s/step (measured)": per_step})
+    return out
+
+
+def test_table5_model(benchmark):
+    text = benchmark(render_model)
+    write_result("table5_cluster_model", text)
+    rows = {r["racks"]: r for r in table5()}
+    assert rows[96]["RHS [PFLOP/s]"] > 10.0  # the 11 PFLOP/s headline
+
+
+def test_table5_weak_scaling_measured(benchmark):
+    rows = benchmark.pedantic(weak_scaling_measured, rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        "Weak scaling of the simulated cluster (constant subdomain/rank;\n"
+        "on a single-CPU host this measures communication overhead, not\n"
+        "parallel speedup)",
+        floatfmt="{:.3f}",
+    )
+    write_result("table5_weak_scaling_measured", text)
+    # On a single-CPU host ranks serialize, so per-step time tracks total
+    # work; the assertion bounds the *communication overhead* on top:
+    # 4 ranks do 4x the cells of 1 rank, so anything under 6x means the
+    # halo protocol costs < 50 % overhead.
+    assert rows[-1]["s/step (measured)"] < 6.0 * rows[0]["s/step (measured)"]

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""The paper's performance story, replayed through the models.
+
+Walks the complete chain the paper uses to explain its 11 PFLOP/s:
+roofline -> data reordering (Table 3) -> issue bounds (Table 8) -> core
+layer (Table 7) -> node layer (Fig. 9) -> cluster (Tables 5/6) ->
+throughput (Section 7), and prints every table with the paper's measured
+values alongside.
+
+    python examples/performance_projection.py
+"""
+
+from repro.perf import (
+    BGQ_NODE,
+    SEQUOIA,
+    attainable,
+    bqc_table,
+    fig9_weak_scaling,
+    format_table,
+    machines_table,
+    rhs_issue_bounds,
+    table3,
+    table5,
+    table6,
+    table7,
+    table9,
+    table10,
+    throughput_cells_per_second,
+    time_per_step,
+)
+
+
+def section(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    section("Platforms (paper Tables 1-2)")
+    print(format_table(machines_table()))
+    for k, v in bqc_table().items():
+        print(f"  {k}: {v}")
+    print(f"  roofline ridge point: {BGQ_NODE.ridge_point:.1f} FLOP/B")
+
+    section("Why reorder data (paper Table 3)")
+    rows = [
+        {
+            "kernel": e.kernel,
+            "naive OI": e.naive_oi,
+            "reordered OI": e.reordered_oi,
+            "gain": e.gain,
+            "roofline bound [GF/s]": attainable(BGQ_NODE, e.reordered_oi),
+        }
+        for e in table3()
+    ]
+    print(format_table(rows))
+    print("paper: RHS 1.4->21 (15x), DT 1.3->5.1 (3.9x), UP 0.2 (1x)")
+
+    section("Issue-rate ceiling (paper Table 8)")
+    print(format_table([vars(b) for b in rhs_issue_bounds()]))
+    print("=> the RHS cannot exceed ~76 % of peak no matter what.")
+
+    section("Core layer: scalar vs QPX (paper Table 7)")
+    print(format_table(table7()))
+    print("paper: RHS 2.21->8.27 (65 %), DT 0.90->1.96, UP ~0.3, FWT 0.40->1.29")
+
+    section("WENO micro-fusion (paper Table 9)")
+    for k, v in table9().items():
+        print(f"  {k}: {v:.3f}")
+
+    section("Node layer thread scaling (paper Fig. 9)")
+    print(format_table(fig9_weak_scaling()))
+
+    section("Cluster: 1 -> 96 racks (paper Tables 5-6)")
+    print(format_table(table5()))
+    print()
+    print(format_table(table6()))
+
+    section("Performance portability (paper Table 10)")
+    print(format_table(table10()))
+
+    section("Headline numbers (paper Section 7 / abstract)")
+    tput = throughput_cells_per_second(96)
+    rhs_pf = [r for r in table5() if r["racks"] == 96][0]["RHS [PFLOP/s]"]
+    print(f"  RHS on 96 racks        : {rhs_pf:6.2f} PFLOP/s  [paper: 10.99 -> '11 PFLOP/s']")
+    print(f"  fraction of 20.1 PF    : {100 * rhs_pf / SEQUOIA.peak_pflops:6.1f} %"
+          f"        [paper: 55 %]")
+    print(f"  throughput             : {tput / 1e9:6.0f} Gcells/s [paper: 721]")
+    print(f"  step time (13.2e12)    : {time_per_step(13.2e12, 96):6.1f} s"
+          f"        [paper: 18.3]")
+    print(f"  cores                  : {SEQUOIA.cores / 1e6:6.2f} M      [paper: 1.6 M]")
+
+
+if __name__ == "__main__":
+    main()

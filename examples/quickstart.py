@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: collapse a single vapor bubble and watch the diagnostics.
+
+Runs a laptop-scale version of the paper's physics -- one vapor bubble at
+0.0234 bar inside liquid pressurized to 100 bar (the production values of
+Section 7) -- through the full cluster/node/core stack, and prints the
+quantities the paper monitors in Fig. 5.
+
+    python examples/quickstart.py [--cells 32] [--steps 60]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.cluster import Simulation
+from repro.physics import rayleigh_collapse_time
+from repro.sim import Bubble, SimulationConfig, cloud_collapse
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--cells", type=int, default=32, help="grid cells per axis")
+    ap.add_argument("--steps", type=int, default=60, help="time steps")
+    ap.add_argument("--radius", type=float, default=0.2, help="bubble radius")
+    ap.add_argument("--pressure", type=float, default=100.0,
+                    help="ambient liquid pressure [bar]")
+    args = ap.parse_args()
+
+    bubble = Bubble(center=(0.5, 0.5, 0.5), radius=args.radius)
+    config = SimulationConfig(
+        cells=args.cells,
+        block_size=min(16, args.cells),
+        max_steps=args.steps,
+        cfl=0.3,
+    )
+    ic = cloud_collapse([bubble], p_liquid=args.pressure)
+
+    tau = rayleigh_collapse_time(args.radius, 1000.0, args.pressure - 0.0234)
+    print(f"grid          : {args.cells}^3 cells, h = {config.h:.4f}")
+    print(f"bubble        : R0 = {args.radius}, p_inf = {args.pressure} bar")
+    print(f"Rayleigh time : {tau:.4f} (analytic empty-cavity estimate)\n")
+
+    result = Simulation(config, ic).run()
+
+    print(f"{'step':>5} {'t/tau':>7} {'dt':>10} {'max p':>9} "
+          f"{'kinetic E':>11} {'r_eq/R0':>8}")
+    for rec in result.records[:: max(1, len(result.records) // 15)]:
+        d = rec.diagnostics
+        print(
+            f"{rec.step:5d} {rec.time / tau:7.3f} {rec.dt:10.2e} "
+            f"{d.max_pressure:9.2f} {d.kinetic_energy:11.4e} "
+            f"{d.equivalent_radius / args.radius:8.4f}"
+        )
+
+    vv = result.series("vapor_volume")
+    print(f"\nvapor volume: {vv[0]:.4f} -> {vv[-1]:.4f} "
+          f"({100 * (1 - vv[-1] / vv[0]):.1f} % collapsed)")
+    print(f"peak pressure: {result.series('max_pressure').max():.1f} bar "
+          f"({result.series('max_pressure').max() / args.pressure:.1f}x ambient)")
+    print("\nphase timers [s]:",
+          {k: round(v, 2) for k, v in sorted(result.timers.items())})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim so `pip install -e .` works in offline environments
+(no `wheel` package available for PEP 517 editable builds)."""
+from setuptools import setup
+
+setup()

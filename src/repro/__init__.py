@@ -1,0 +1,36 @@
+"""repro: reproduction of "11 PFLOP/s Simulations of Cloud Cavitation Collapse".
+
+A CUBISM-MPCF-style finite-volume solver for inviscid compressible
+two-phase flow, organized in the paper's three software layers
+(:mod:`repro.cluster` / :mod:`repro.node` / :mod:`repro.core`), with the
+wavelet-based I/O compression scheme (:mod:`repro.compression`), bubble
+cloud simulation setup (:mod:`repro.sim`) and the Blue Gene/Q performance
+models that regenerate the paper's evaluation tables (:mod:`repro.perf`).
+
+Quick start::
+
+    from repro.sim import SimulationConfig, build_simulation
+
+    config = SimulationConfig(cells=64, extent=1.0)
+    sim = build_simulation(config)
+    for step in sim.run(num_steps=100):
+        print(step.time, step.diagnostics.max_pressure)
+
+See ``examples/`` for complete scenarios and ``DESIGN.md`` for the system
+inventory.
+"""
+
+__version__ = "1.0.0"
+
+from . import cluster, compression, core, node, perf, physics, sim  # noqa: F401
+
+__all__ = [
+    "cluster",
+    "compression",
+    "core",
+    "node",
+    "perf",
+    "physics",
+    "sim",
+    "__version__",
+]

@@ -1,0 +1,170 @@
+"""Command-line interface.
+
+Three subcommands mirror the workflow of the paper's software:
+
+``run``
+    Execute a cloud-cavitation-collapse simulation and print diagnostics
+    (optionally with compressed dumps and a wall-erosion map).
+``report``
+    Print the performance-model reproduction of every paper table.
+``compress``
+    Wavelet-compress a 3D ``.npy`` scalar field to a dump file (and back).
+
+Usage::
+
+    python -m repro.cli run --cells 32 --bubbles 4
+    python -m repro.cli report
+    python -m repro.cli compress field.npy --eps 1e-3
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Run a cloud-collapse simulation and print diagnostics."""
+    from .cluster import Simulation
+    from .sim import SimulationConfig, cloud_collapse, generate_cloud
+    from .sim.erosion import ErosionModel
+
+    bubbles = generate_cloud(
+        args.bubbles, (0.5, 0.5, 0.5), 0.38, rng=args.seed,
+        r_min=0.07, r_max=0.11,
+    )
+    erosion = (
+        ErosionModel(p_threshold=args.erosion_threshold)
+        if args.erosion_threshold else None
+    )
+    config = SimulationConfig(
+        cells=args.cells,
+        block_size=16 if args.cells % 16 == 0 else 8,
+        max_steps=args.steps,
+        ranks=args.ranks,
+        wall=(0, -1) if (args.wall or erosion) else None,
+        erosion=erosion,
+        dump_interval=args.dump_interval,
+        dump_dir=args.dump_dir,
+    )
+    ic = cloud_collapse(bubbles, p_liquid=args.pressure,
+                        smoothing=config.h)
+    result = Simulation(config, ic).run()
+    print(f"{'step':>5} {'time':>9} {'max p':>10} {'kinetic E':>11} "
+          f"{'r_eq':>8}")
+    for rec in result.records[:: max(1, len(result.records) // 20)]:
+        if rec.diagnostics is None:
+            continue
+        d = rec.diagnostics
+        print(f"{rec.step:5d} {rec.time:9.5f} {d.max_pressure:10.2f} "
+              f"{d.kinetic_energy:11.4e} {d.equivalent_radius:8.4f}")
+    if result.wall_damage is not None:
+        dmg = result.wall_damage
+        print(f"\nwall damage: peak {dmg.max():.3e}, "
+              f"damaged cells {(dmg > 0).sum()}/{dmg.size}")
+    print("\ntimers [s]:",
+          {k: round(v, 2) for k, v in sorted(result.timers.items())})
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .perf import (
+        format_table,
+        machines_table,
+        rhs_issue_bounds,
+        table3,
+        table5,
+        table7,
+        table10,
+        throughput_cells_per_second,
+        time_per_step,
+    )
+
+    print(format_table(machines_table(), "Table 1"))
+    print()
+    print(format_table(
+        [
+            {"kernel": e.kernel, "naive OI": e.naive_oi,
+             "reordered OI": e.reordered_oi, "gain": e.gain}
+            for e in table3()
+        ],
+        "Table 3",
+    ))
+    print()
+    print(format_table([vars(b) for b in rhs_issue_bounds()], "Table 8"))
+    print()
+    print(format_table(table7(), "Table 7"))
+    print()
+    print(format_table(table5(), "Table 5"))
+    print()
+    print(format_table(table10(), "Table 10"))
+    print()
+    print(f"throughput (96 racks): "
+          f"{throughput_cells_per_second(96) / 1e9:.0f} Gcells/s; "
+          f"step time: {time_per_step(13.2e12, 96):.1f} s")
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    from .compression import WaveletCompressor
+
+    field = np.load(args.field)
+    if field.ndim != 3:
+        print("error: expected a 3D array", file=sys.stderr)
+        return 2
+    comp = WaveletCompressor(eps=args.eps, guaranteed=not args.paper_thresholds)
+    cf = comp.compress(field.astype(np.float32))
+    out = args.output or (os.path.splitext(args.field)[0] + ".rwz.npy")
+    np.save(out, np.frombuffer(cf.payload, dtype=np.uint8))
+    restored = comp.decompress(cf)
+    err = float(np.abs(restored.astype(np.float64) - field).max())
+    print(f"{args.field}: {field.nbytes} B -> {cf.nbytes} B "
+          f"({cf.stats.rate:.1f}:1), L-inf error {err:.3e} (eps {args.eps})")
+    print(f"payload written to {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the repro CLI."""
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a cloud collapse simulation")
+    run.add_argument("--cells", type=int, default=32)
+    run.add_argument("--bubbles", type=int, default=4)
+    run.add_argument("--steps", type=int, default=60)
+    run.add_argument("--ranks", type=int, default=1)
+    run.add_argument("--pressure", type=float, default=1000.0)
+    run.add_argument("--seed", type=int, default=2013)
+    run.add_argument("--wall", action="store_true")
+    run.add_argument("--erosion-threshold", type=float, default=0.0,
+                     help="enable erosion accumulation above this wall "
+                          "pressure")
+    run.add_argument("--dump-interval", type=int, default=0)
+    run.add_argument("--dump-dir", default=".")
+    run.set_defaults(func=_cmd_run)
+
+    rep = sub.add_parser("report", help="print the performance models")
+    rep.set_defaults(func=_cmd_report)
+
+    comp = sub.add_parser("compress", help="compress a 3D .npy field")
+    comp.add_argument("field")
+    comp.add_argument("--eps", type=float, default=1e-3)
+    comp.add_argument("--output")
+    comp.add_argument("--paper-thresholds", action="store_true",
+                      help="raw thresholds (no strict L-inf guarantee)")
+    comp.set_defaults(func=_cmd_compress)
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Cluster layer: domain decomposition and inter-rank exchange.
+
+"The cluster layer is responsible for the domain decomposition and the
+inter-rank information exchange." (paper Section 6)
+
+The MPI substrate is simulated in-process (see
+:mod:`repro.cluster.mpi_sim`) with the same API surface and control flow
+as the paper's MPI usage: non-blocking halo exchange overlapped with
+interior-block computation, max-allreduce for the time step, and an
+exclusive prefix sum ahead of collective compressed writes.
+"""
+
+from .checkpoint import (
+    read_checkpoint_field,
+    read_checkpoint_meta,
+    write_checkpoint,
+)
+from .driver import RankResult, RunResult, Simulation, StepRecord, rank_main
+from .halo import HaloExchange, RemoteGhostProvider, extract_face_slab
+from .mpi_sim import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CommTimeoutError,
+    Request,
+    SimComm,
+    SimWorld,
+    WorldError,
+)
+from .topology import CartTopology, balanced_dims
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CartTopology",
+    "CommTimeoutError",
+    "HaloExchange",
+    "RankResult",
+    "RemoteGhostProvider",
+    "Request",
+    "RunResult",
+    "SimComm",
+    "SimWorld",
+    "Simulation",
+    "StepRecord",
+    "WorldError",
+    "balanced_dims",
+    "extract_face_slab",
+    "rank_main",
+    "read_checkpoint_field",
+    "read_checkpoint_meta",
+    "write_checkpoint",
+]

@@ -1,0 +1,379 @@
+"""Production simulation driver (cluster layer, paper Fig. 1 & Section 6).
+
+Each simulation step executes
+
+    DT   -- rank-local SOS kernel + global max-allreduce, CFL time step;
+    3 x (RHS + UP) -- per RK stage: post the non-blocking halo exchange,
+            evaluate interior blocks while messages are in flight, finish
+            the exchange, evaluate halo blocks, apply the low-storage
+            update;
+    IO   -- every ``dump_interval`` steps, wavelet-compress p and Gamma
+            and write them collectively (exscan offsets).
+
+The driver runs as an SPMD program over the simulated communicator; the
+:class:`Simulation` facade hides the world setup and stitches per-rank
+results for single-process callers (examples, tests, benchmarks).
+
+Per-phase wall-clock timers reproduce the time-distribution measurements
+of paper Fig. 7.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compression.io import write_compressed_parallel
+from ..compression.scheme import WaveletCompressor
+from ..core.timestepper import make_stepper
+from ..node.dispatcher import Dispatcher
+from ..node.grid import BlockGrid
+from ..node.solver import NodeSolver
+from ..physics.state import GAMMA, NQ
+from ..sim.config import SimulationConfig
+from ..sim.diagnostics import (
+    Diagnostics,
+    pressure_field,
+    rank_diagnostics,
+    reduce_diagnostics,
+)
+from .halo import HaloExchange
+from .mpi_sim import SimComm, SimWorld
+from .topology import CartTopology, balanced_dims
+
+
+@dataclass
+class StepRecord:
+    """Diagnostics and timings of one completed step."""
+
+    step: int
+    time: float
+    dt: float
+    diagnostics: Diagnostics | None
+    timers: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class RankResult:
+    """Everything one rank returns from an SPMD run."""
+
+    rank: int
+    records: list[StepRecord]
+    field: np.ndarray | None  #: final AoS subdomain (if collected)
+    origin_cells: tuple[int, int, int]
+    timers: dict[str, float]
+    bytes_sent: int
+    messages_sent: int
+    compression_stats: list[dict]
+    #: wall damage map of this rank's wall patch (if erosion is enabled
+    #: and the subdomain touches the wall)
+    wall_damage: np.ndarray | None = None
+
+
+@dataclass
+class RunResult:
+    """Assembled outcome of a simulation run."""
+
+    records: list[StepRecord]
+    final_field: np.ndarray | None  #: global AoS field (if collected)
+    timers: dict[str, float]  #: mean per-rank phase seconds
+    rank_results: list[RankResult]
+    config: SimulationConfig
+
+    @property
+    def wall_damage(self) -> np.ndarray | None:
+        """Global wall damage map stitched from the wall ranks."""
+        pieces = [
+            (rr.origin_cells, rr.wall_damage)
+            for rr in self.rank_results
+            if rr.wall_damage is not None
+        ]
+        if not pieces:
+            return None
+        axis = self.config.wall[0]
+        plane_axes = [d for d in range(3) if d != axis]
+        extent = tuple(self.config.cells[d] for d in plane_axes)
+        out = np.zeros(extent)
+        for origin, dmg in pieces:
+            o = tuple(origin[d] for d in plane_axes)
+            out[o[0] : o[0] + dmg.shape[0], o[1] : o[1] + dmg.shape[1]] = dmg
+        return out
+
+    def series(self, name: str) -> np.ndarray:
+        """Time series of a diagnostic attribute (e.g. ``max_pressure``)."""
+        vals = [
+            getattr(r.diagnostics, name)
+            for r in self.records
+            if r.diagnostics is not None
+        ]
+        return np.asarray(vals)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(
+            [r.time for r in self.records if r.diagnostics is not None]
+        )
+
+
+class _Timers(dict):
+    """Accumulating phase timers with a context-manager interface."""
+
+    class _Span:
+        def __init__(self, timers: "_Timers", key: str):
+            self.timers, self.key = timers, key
+
+        def __enter__(self):
+            self.t0 = time.perf_counter()
+
+        def __exit__(self, *exc):
+            self.timers[self.key] = self.timers.get(self.key, 0.0) + (
+                time.perf_counter() - self.t0
+            )
+
+    def span(self, key: str) -> "_Timers._Span":
+        return self._Span(self, key)
+
+
+def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
+              restart_from: str | None = None) -> RankResult:
+    """The SPMD program executed by every rank.
+
+    ``restart_from`` resumes a run from a checkpoint written by
+    :func:`repro.cluster.checkpoint.write_checkpoint` (any rank count);
+    ``max_steps`` counts total steps including the restarted ones.
+    """
+    topo = CartTopology(balanced_dims(comm.size), config.periodic)
+    if topo.size != comm.size:
+        raise ValueError(f"topology size {topo.size} != world size {comm.size}")
+    starts, counts = topo.subdomain_blocks(comm.rank, config.global_blocks)
+    n = config.block_size
+    h = config.h
+    origin_cells = tuple(s * n for s in starts)
+    grid = BlockGrid(counts, n, h, origin=tuple(o * h for o in origin_cells))
+    t = 0.0
+    step = 0
+    if restart_from is None:
+        grid.fill(ic_fn)
+    else:
+        from .checkpoint import read_checkpoint_field
+
+        global_field, t, step = read_checkpoint_field(restart_from)
+        oz, oy, ox = origin_cells
+        nz, ny, nx = grid.cells
+        grid.from_array(global_field[oz:oz + nz, oy:oy + ny, ox:ox + nx])
+
+    solver = NodeSolver(
+        grid,
+        boundary=config.boundary_spec(),
+        dispatcher=Dispatcher(num_workers=config.num_workers),
+        fused=config.fused_weno,
+        use_slices=config.use_slices,
+        order=config.weno_order,
+        solver=config.riemann_solver,
+    )
+    halo = HaloExchange(comm, topo, grid)
+    interior, halo_blocks = halo.halo_split()
+    stepper = make_stepper(config.stepper)
+
+    # The wall diagnostic is recorded only by ranks whose subdomain
+    # touches the wall face.
+    wall = None
+    if config.wall is not None and topo.is_domain_boundary(
+        comm.rank, *config.wall
+    ):
+        wall = config.wall
+
+    # Optional erosion accumulation on the wall patch (paper Section 9's
+    # "coupling material erosion models with the flow solver").
+    damage = None
+    if config.erosion is not None and wall is not None:
+        from ..sim.erosion import WallDamageAccumulator
+
+        patch_shape = tuple(
+            c for d, c in enumerate(grid.cells) if d != wall[0]
+        )
+        damage = WallDamageAccumulator(patch_shape, h, config.erosion)
+
+    timers = _Timers()
+    records: list[StepRecord] = []
+    compression_stats: list[dict] = []
+    while step < config.max_steps and t < config.t_end:
+        # -- DT kernel: SOS reduction -> CFL time step -------------------
+        with timers.span("DT"):
+            sos = comm.allreduce(solver.max_sos(), op="max")
+            if not np.isfinite(sos):
+                raise RuntimeError(
+                    f"solution diverged at step {step}: non-finite "
+                    "characteristic velocity (check resolution/CFL)"
+                )
+            dt = config.cfl * h / sos
+            if t + dt > config.t_end:
+                dt = config.t_end - t
+
+        # -- RK stages: RHS (overlapped halo exchange) + UP ---------------
+        for stage in stepper.stages:
+            with timers.span("RHS"):
+                pending = halo.start()
+                rhs_map = solver.evaluate_rhs(interior)
+            with timers.span("COMM_WAIT"):
+                provider = halo.finish(pending)
+            with timers.span("RHS"):
+                rhs_map.update(solver.evaluate_rhs(halo_blocks, provider))
+            with timers.span("UP"):
+                solver.update(rhs_map, stage.a, stage.b, dt)
+
+        t += dt
+        step += 1
+
+        # -- erosion accumulation on the wall layer ----------------------
+        if damage is not None:
+            with timers.span("EROSION"):
+                from ..sim.diagnostics import pressure_field
+                from .halo import extract_face_slab
+
+                layer = extract_face_slab(grid, wall[0], wall[1], width=1)
+                p_wall = pressure_field(np.squeeze(layer, axis=wall[0]))
+                damage.update(p_wall, dt)
+
+        # -- diagnostics ---------------------------------------------------
+        diag = None
+        if config.diag_interval and step % config.diag_interval == 0:
+            with timers.span("DIAG"):
+                local = rank_diagnostics(grid.to_array(), h, wall)
+                diag = reduce_diagnostics(comm, local)
+
+        # -- compressed data dumps (p and Gamma only, as in the paper) ----
+        if config.dump_interval and step % config.dump_interval == 0:
+            with timers.span("IO_WAVELET"):
+                stats = _dump(comm, config, grid, origin_cells, step, timers)
+                compression_stats.extend(stats)
+
+        # -- lossless checkpoints ----------------------------------------
+        if config.checkpoint_interval and step % config.checkpoint_interval == 0:
+            from .checkpoint import write_checkpoint
+
+            with timers.span("CHECKPOINT"):
+                ck_path = os.path.join(
+                    config.checkpoint_dir, f"checkpoint_step{step:06d}.rck"
+                )
+                write_checkpoint(
+                    comm, ck_path, grid.to_array(), origin_cells, t, step
+                )
+
+        records.append(
+            StepRecord(step=step, time=t, dt=dt, diagnostics=diag,
+                       timers=dict(timers))
+        )
+
+    return RankResult(
+        rank=comm.rank,
+        records=records,
+        field=grid.to_array() if config.collect_final_field else None,
+        origin_cells=origin_cells,
+        timers=dict(timers),
+        bytes_sent=comm.bytes_sent,
+        messages_sent=comm.messages_sent,
+        compression_stats=compression_stats,
+        wall_damage=damage.damage if damage is not None else None,
+    )
+
+
+def _dump(
+    comm: SimComm,
+    config: SimulationConfig,
+    grid: BlockGrid,
+    origin_cells: tuple[int, int, int],
+    step: int,
+    timers: _Timers,
+) -> list[dict]:
+    """Compress and collectively write p and Gamma (one file each)."""
+    fld = grid.to_array()
+    quantities = {
+        "p": (pressure_field(fld).astype(np.float32), config.eps_pressure),
+        "Gamma": (fld[..., GAMMA].astype(np.float32), config.eps_gamma),
+    }
+    out = []
+    for name, (data, eps) in quantities.items():
+        compressor = WaveletCompressor(
+            eps=eps,
+            block_size=min(config.block_size, 32),
+            num_threads=config.num_workers,
+            guaranteed=config.dump_guaranteed,
+        )
+        with timers.span("IO_FWT"):
+            cf = compressor.compress(data)
+        path = os.path.join(config.dump_dir, f"dump_step{step:06d}_{name}.rwz")
+        with timers.span("IO_WRITE"):
+            ws = write_compressed_parallel(
+                comm, path, name, cf,
+                rank_meta={"origin_cells": list(origin_cells)},
+            )
+        out.append(
+            {
+                "step": step,
+                "quantity": name,
+                "rate": cf.stats.rate,
+                "raw_bytes": cf.stats.raw_bytes,
+                "compressed_bytes": cf.stats.compressed_bytes,
+                "write_seconds": ws.seconds,
+                "dec_seconds": float(cf.stats.dec_seconds.sum()),
+                "enc_seconds": float(
+                    sum(s.seconds for s in cf.stats.enc_stats)
+                ),
+            }
+        )
+    return out
+
+
+class Simulation:
+    """Single-process facade over the SPMD driver.
+
+    Example::
+
+        from repro.sim import SimulationConfig
+        from repro.cluster import Simulation
+        from repro.sim.ic import uniform
+
+        sim = Simulation(SimulationConfig(cells=32, block_size=16,
+                                          max_steps=10), uniform())
+        result = sim.run()
+        print(result.series("max_pressure"))
+    """
+
+    def __init__(self, config: SimulationConfig, ic_fn,
+                 restart_from: str | None = None):
+        self.config = config
+        self.ic_fn = ic_fn
+        self.restart_from = restart_from
+
+    def run(self) -> RunResult:
+        world = SimWorld(self.config.ranks)
+        rank_results: list[RankResult] = world.run(
+            rank_main, self.config, self.ic_fn, self.restart_from
+        )
+
+        final = None
+        if self.config.collect_final_field:
+            cells = tuple(self.config.cells)
+            final = np.zeros(cells + (NQ,), dtype=np.float32)
+            for rr in rank_results:
+                oz, oy, ox = rr.origin_cells
+                sz, sy, sx = rr.field.shape[:3]
+                final[oz : oz + sz, oy : oy + sy, ox : ox + sx] = rr.field
+
+        # Phase timers: mean over ranks.
+        keys = set().union(*(rr.timers for rr in rank_results))
+        timers = {
+            k: float(np.mean([rr.timers.get(k, 0.0) for rr in rank_results]))
+            for k in keys
+        }
+        return RunResult(
+            records=rank_results[0].records,
+            final_field=final,
+            timers=timers,
+            rank_results=rank_results,
+            config=self.config,
+        )

@@ -1,0 +1,345 @@
+"""In-process SPMD communicator: the cluster layer's MPI substitute.
+
+The paper parallelizes across ranks with MPI (non-blocking point-to-point
+halo exchange, global reductions for DT, an exclusive prefix sum for
+parallel I/O offsets).  This module provides the same API surface executed
+by *threads inside one process* -- each rank runs the same SPMD program in
+its own thread, point-to-point messages travel through selective-receive
+mailboxes and collectives synchronize through generation-counted
+rendezvous.  NumPy releases the GIL inside kernels, so rank threads
+genuinely overlap, and the control flow (Isend/Irecv + overlap of interior
+computation with communication) is exercised exactly as on a real cluster.
+
+The API follows mpi4py conventions: lowercase methods communicate Python
+objects, capitalized methods communicate NumPy arrays.
+
+Deadlock safety: every blocking wait carries a timeout
+(:data:`DEFAULT_TIMEOUT` seconds) and raises :class:`CommTimeoutError`
+instead of hanging the test suite.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+#: Seconds a blocking receive/collective waits before declaring deadlock.
+DEFAULT_TIMEOUT = 120.0
+
+#: Wildcard for Recv source/tag matching.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class CommTimeoutError(RuntimeError):
+    """A blocking communication did not complete within the timeout."""
+
+
+class WorldError(RuntimeError):
+    """One or more rank threads raised; carries the per-rank exceptions."""
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = failures
+        msgs = "; ".join(f"rank {r}: {e!r}" for r, e in sorted(failures.items()))
+        super().__init__(f"SPMD program failed on {len(failures)} rank(s): {msgs}")
+
+
+@dataclass
+class _Message:
+    source: int
+    tag: int
+    payload: Any
+
+
+class _Mailbox:
+    """Per-rank selective-receive message store."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._messages: list[_Message] = []
+
+    def put(self, msg: _Message) -> None:
+        with self._cv:
+            self._messages.append(msg)
+            self._cv.notify_all()
+
+    def _match(self, source: int, tag: int) -> _Message | None:
+        for i, msg in enumerate(self._messages):
+            if source not in (ANY_SOURCE, msg.source):
+                continue
+            if tag not in (ANY_TAG, msg.tag):
+                continue
+            return self._messages.pop(i)
+        return None
+
+    def get(self, source: int, tag: int, timeout: float) -> _Message:
+        deadline = None
+        with self._cv:
+            while True:
+                msg = self._match(source, tag)
+                if msg is not None:
+                    return msg
+                if deadline is None:
+                    import time
+
+                    deadline = time.monotonic() + timeout
+                import time
+
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise CommTimeoutError(
+                        f"Recv(source={source}, tag={tag}) timed out"
+                    )
+                self._cv.wait(remaining)
+
+    def poll(self, source: int, tag: int) -> _Message | None:
+        with self._cv:
+            return self._match(source, tag)
+
+
+class _Rendezvous:
+    """Generation-counted collective rendezvous.
+
+    Each rank calls :meth:`contribute` with its sequence number (ranks of
+    an SPMD program execute collectives in identical order, so sequence
+    numbers line up).  The last contributor applies the combiner and wakes
+    everybody; results are reference-counted away afterwards.
+    """
+
+    def __init__(self, size: int):
+        self.size = size
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._contrib: dict[int, dict[int, Any]] = {}
+        self._results: dict[int, Any] = {}
+        self._reads: dict[int, int] = {}
+
+    def contribute(
+        self,
+        gen: int,
+        rank: int,
+        value: Any,
+        combiner: Callable[[dict[int, Any]], Any],
+        timeout: float,
+    ) -> Any:
+        import time
+
+        with self._cv:
+            slot = self._contrib.setdefault(gen, {})
+            if rank in slot:
+                raise RuntimeError(f"rank {rank} contributed twice to gen {gen}")
+            slot[rank] = value
+            if len(slot) == self.size:
+                self._results[gen] = combiner(slot)
+                self._reads[gen] = 0
+                self._cv.notify_all()
+            deadline = time.monotonic() + timeout
+            while gen not in self._results:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    missing = self.size - len(self._contrib.get(gen, {}))
+                    raise CommTimeoutError(
+                        f"collective gen {gen} timed out waiting for "
+                        f"{missing} rank(s)"
+                    )
+                self._cv.wait(remaining)
+            result = self._results[gen]
+            self._reads[gen] += 1
+            if self._reads[gen] == self.size:
+                del self._results[gen]
+                del self._reads[gen]
+                del self._contrib[gen]
+        return result
+
+
+class Request:
+    """Handle for a non-blocking operation (mirrors ``MPI.Request``)."""
+
+    def __init__(self, wait_fn: Callable[[float], Any]):
+        self._wait_fn = wait_fn
+        self._done = False
+        self._value: Any = None
+
+    def wait(self, timeout: float = DEFAULT_TIMEOUT) -> Any:
+        if not self._done:
+            self._value = self._wait_fn(timeout)
+            self._done = True
+        return self._value
+
+    @staticmethod
+    def waitall(requests: list["Request"], timeout: float = DEFAULT_TIMEOUT) -> list[Any]:
+        return [r.wait(timeout) for r in requests]
+
+
+# Reduction operators usable with allreduce/exscan.
+OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "max": lambda a, b: a if a >= b else b,
+    "min": lambda a, b: a if a <= b else b,
+}
+
+
+class SimComm:
+    """Communicator bound to one rank of a :class:`SimWorld`."""
+
+    def __init__(self, world: "SimWorld", rank: int):
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+        self._gen = 0  #: collective sequence number (per rank)
+        #: Bytes moved through point-to-point sends (traffic accounting).
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    # -- point to point ---------------------------------------------------
+
+    def _payload_bytes(self, obj: Any) -> int:
+        if isinstance(obj, np.ndarray):
+            return obj.nbytes
+        return 0
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking-API send (delivery is buffered, so it never blocks)."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid destination rank {dest}")
+        payload = obj.copy() if isinstance(obj, np.ndarray) else obj
+        self.bytes_sent += self._payload_bytes(payload)
+        self.messages_sent += 1
+        self._world._mailboxes[dest].put(_Message(self.rank, tag, payload))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             timeout: float = DEFAULT_TIMEOUT) -> Any:
+        msg = self._world._mailboxes[self.rank].get(source, tag, timeout)
+        return msg.payload
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        self.send(obj, dest, tag)  # buffered: completes immediately
+        return Request(lambda _t: None)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        return Request(lambda t: self.recv(source, tag, timeout=t))
+
+    # Uppercase aliases for NumPy arrays (mpi4py convention).
+    Send = send
+    Recv = recv
+    Isend = isend
+    Irecv = irecv
+
+    # -- collectives --------------------------------------------------------
+
+    def _collective(self, value: Any, combiner) -> Any:
+        gen = self._gen
+        self._gen += 1
+        return self._world._rendezvous.contribute(
+            gen, self.rank, value, combiner, self._world.timeout
+        )
+
+    def barrier(self) -> None:
+        self._collective(None, lambda slot: True)
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        """Reduce scalars/arrays with ``op`` in ('sum', 'max', 'min')."""
+        fn = OPS[op]
+
+        def combiner(slot: dict[int, Any]) -> Any:
+            acc = None
+            for r in sorted(slot):
+                acc = slot[r] if acc is None else fn(acc, slot[r])
+            return acc
+
+        return self._collective(value, combiner)
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        return self._collective(
+            value if self.rank == root else None,
+            lambda slot: slot[root],
+        )
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        result = self._collective(
+            value, lambda slot: [slot[r] for r in sorted(slot)]
+        )
+        return result if self.rank == root else None
+
+    def allgather(self, value: Any) -> list[Any]:
+        return self._collective(value, lambda slot: [slot[r] for r in sorted(slot)])
+
+    def exscan(self, value: Any, op: str = "sum") -> Any:
+        """Exclusive prefix reduction (rank 0 receives the identity).
+
+        This is the "exclusive prefix sum" the paper performs before the
+        collective compressed-data write: each rank learns the file offset
+        at which its buffer starts.
+        """
+        fn = OPS[op]
+
+        def combiner(slot: dict[int, Any]) -> list[Any]:
+            out: list[Any] = []
+            acc = None
+            for r in sorted(slot):
+                out.append(acc)
+                acc = slot[r] if acc is None else fn(acc, slot[r])
+            return out
+
+        per_rank = self._collective(value, combiner)
+        result = per_rank[self.rank]
+        if result is None:
+            # Identity element: 0 for scalars, zeros for arrays.
+            if isinstance(value, np.ndarray):
+                return np.zeros_like(value)
+            return type(value)(0)
+        return result
+
+
+class SimWorld:
+    """A set of ranks executing an SPMD program on threads.
+
+    Usage::
+
+        world = SimWorld(size=8)
+        results = world.run(main)          # main(comm, *args) per rank
+
+    ``run`` returns the per-rank return values (rank order) and re-raises
+    rank failures as :class:`WorldError`.
+    """
+
+    def __init__(self, size: int, timeout: float = DEFAULT_TIMEOUT):
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = size
+        self.timeout = timeout
+        self._mailboxes = [_Mailbox() for _ in range(size)]
+        self._rendezvous = _Rendezvous(size)
+
+    def comm(self, rank: int) -> SimComm:
+        return SimComm(self, rank)
+
+    def run(self, main: Callable[..., Any], *args: Any) -> list[Any]:
+        results: list[Any] = [None] * self.size
+        failures: dict[int, BaseException] = {}
+
+        def runner(rank: int) -> None:
+            try:
+                results[rank] = main(self.comm(rank), *args)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                failures[rank] = exc
+
+        if self.size == 1:
+            # Fast path: no threads for single-rank runs.
+            runner(0)
+        else:
+            threads = [
+                threading.Thread(target=runner, args=(r,), name=f"rank-{r}")
+                for r in range(self.size)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        if failures:
+            raise WorldError(failures)
+        return results

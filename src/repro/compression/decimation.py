@@ -1,0 +1,105 @@
+"""Lossy decimation of wavelet detail coefficients.
+
+"Lossy compression: detail coefficients are decimated ...  In terms of
+accuracy, it is guaranteed that the decimation will not lead to errors
+larger than the threshold eps" (paper Section 5).
+
+Zeroing a set of detail coefficients changes the reconstruction by the
+inverse transform of the zeroed values.  Since the inverse transform is
+linear, the L-infinity reconstruction error of zeroing coefficients each
+bounded by ``t`` is bounded *exactly and tightly* by ``t`` times the
+inverse transform -- with absolute-valued filter weights -- of the detail
+indicator mask (triangle inequality, attained in the worst case when signs
+align).  :func:`exact_amplification` computes that factor once per
+``(shape, levels)`` and caches it; :func:`decimate` divides the requested
+``eps`` by it so the bound is a real guarantee (property-tested).
+
+A closed-form factor would have to assume the worst stencil everywhere
+(the one-sided boundary extrapolation has an L1 gain of 6) and would be
+orders of magnitude too conservative; the operator-based factor is tight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from .wavelet import detail_mask, iwt3d_abs
+
+
+@lru_cache(maxsize=64)
+def exact_amplification(shape: tuple[int, int, int], levels: int) -> float:
+    """Worst-case L-infinity error per unit decimation threshold.
+
+    The maximum over output points of the absolute-weight inverse
+    transform applied to the detail indicator: a rigorous, tight bound on
+    ``|iwt3d(zeroed)|_inf / t``.
+    """
+    if levels == 0:
+        return 0.0
+    indicator = detail_mask(shape, levels).astype(np.float64)
+    return float(iwt3d_abs(indicator, levels).max())
+
+
+def guaranteed_threshold(eps: float, shape: tuple[int, int, int], levels: int) -> float:
+    """Per-coefficient threshold that guarantees ``|error|_inf <= eps``."""
+    if levels == 0:
+        return 0.0
+    return eps / exact_amplification(tuple(shape), levels)
+
+
+@dataclass
+class DecimationStats:
+    """Outcome of decimating one coefficient block."""
+
+    total_details: int
+    zeroed: int
+    threshold: float
+
+    @property
+    def survival_fraction(self) -> float:
+        """Fraction of detail coefficients kept (data-dependent work --
+        the source of the DEC imbalance in Table 4)."""
+        if self.total_details == 0:
+            return 0.0
+        return 1.0 - self.zeroed / self.total_details
+
+
+def decimate(
+    coeffs: np.ndarray,
+    levels: int,
+    eps: float,
+    guaranteed: bool = True,
+) -> DecimationStats:
+    """Zero small detail coefficients of a 3D transform, in place.
+
+    Parameters
+    ----------
+    coeffs:
+        Output of :func:`repro.compression.wavelet.fwt3d` (modified in
+        place -- the paper performs "in-place transform, decimation and
+        encoding").
+    levels:
+        Number of transform levels.
+    eps:
+        Decimation threshold.  With ``guaranteed=True`` the reconstruction
+        error is strictly bounded by ``eps`` in L-infinity; with ``False``
+        the raw magnitude threshold is ``eps`` itself (the paper's usage:
+        higher compression, error typically a small multiple of ``eps``
+        and strictly bounded by ``eps * exact_amplification(...)``).
+    """
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    mask = detail_mask(coeffs.shape, levels)
+    t = guaranteed_threshold(eps, coeffs.shape, levels) if guaranteed else eps
+    details = coeffs[mask]
+    small = np.abs(details) < t
+    details[small] = 0.0
+    coeffs[mask] = details
+    return DecimationStats(
+        total_details=int(mask.sum()),
+        zeroed=int(small.sum()),
+        threshold=float(t),
+    )

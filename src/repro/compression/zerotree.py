@@ -1,0 +1,304 @@
+"""Zerotree (EZW-style) coding of 3D wavelet coefficients.
+
+The paper's encoder of record is zlib, but it notes that "alternatively
+efficient lossy encoders can also be used such as the zerotree coding
+scheme [Shapiro] and the SPIHT library".  This module implements a
+3D embedded-zerotree coder over the block transforms of
+:mod:`repro.compression.wavelet`:
+
+* coefficients are organized in the dyadic parent-child octree of the
+  Mallat layout (parent of position ``p`` is ``p // 2``; the coarse corner
+  holds the roots);
+* bitplane *dominant passes* emit 2-bit symbols -- significant-positive,
+  significant-negative, zerotree root (the whole subtree is insignificant
+  at the current threshold) or isolated zero;
+* *subordinate passes* emit one refinement bit per already-significant
+  coefficient, halving its uncertainty interval;
+* the symbol stream is deflated with zlib as the final entropy stage.
+
+The coder is *embedded*: truncating at any bitplane yields the best
+approximation at that budget.  Encoding stops once the threshold drops
+below ``t_stop``, which bounds the reconstruction error of every
+coefficient by ``t_stop`` -- the same error contract as the decimation
+stage, so the two are interchangeable inside the pipeline.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+_HEADER = struct.Struct("<4sIIIIdI")  # magic, nz, ny, nx, planes, T0, payload
+_MAGIC = b"RPZT"
+
+# Dominant-pass symbols (2 bits each).
+_SYM_ZTR = 0  # zerotree root
+_SYM_IZ = 1  # isolated zero
+_SYM_POS = 2
+_SYM_NEG = 3
+
+
+class _BitWriter:
+    def __init__(self):
+        self._bytes = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write(self, value: int, bits: int) -> None:
+        self._acc |= (value & ((1 << bits) - 1)) << self._nbits
+        self._nbits += bits
+        while self._nbits >= 8:
+            self._bytes.append(self._acc & 0xFF)
+            self._acc >>= 8
+            self._nbits -= 8
+
+    def write_array(self, values: np.ndarray, bits: int) -> None:
+        for v in values.tolist():
+            self.write(int(v), bits)
+
+    def getvalue(self) -> bytes:
+        out = bytearray(self._bytes)
+        if self._nbits:
+            out.append(self._acc & 0xFF)
+        return bytes(out)
+
+
+class _BitReader:
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+        self._acc = 0
+        self._nbits = 0
+
+    def read(self, bits: int) -> int:
+        while self._nbits < bits:
+            if self._pos >= len(self._data):
+                raise ValueError("zerotree bitstream truncated")
+            self._acc |= self._data[self._pos] << self._nbits
+            self._pos += 1
+            self._nbits += 8
+        value = self._acc & ((1 << bits) - 1)
+        self._acc >>= bits
+        self._nbits -= bits
+        return value
+
+    def read_array(self, count: int, bits: int) -> np.ndarray:
+        return np.array([self.read(bits) for _ in range(count)], dtype=np.int64)
+
+
+@lru_cache(maxsize=32)
+def _scan_levels(shape: tuple[int, int, int], levels: int):
+    """Per-level flat position indices, coarse-to-fine, C order.
+
+    Level -1 is the coarse corner (the tree roots); level ``l`` is the
+    annulus of positions introduced by inverse step ``l``.
+    """
+    nz, ny, nx = shape
+    corner = tuple(n >> levels for n in shape)
+    out = []
+    grid = np.indices(shape).reshape(3, -1)
+    flat = np.arange(nz * ny * nx)
+    z, y, x = grid
+    # Corner (roots).
+    in_prev = (z < corner[0]) & (y < corner[1]) & (x < corner[2])
+    out.append(flat[in_prev])
+    for l_idx in range(levels):
+        ext = tuple(c << (l_idx + 1) for c in corner)
+        in_cur = (z < ext[0]) & (y < ext[1]) & (x < ext[2])
+        out.append(flat[in_cur & ~in_prev])
+        in_prev = in_cur
+    return out
+
+
+def _parent_flat(shape: tuple[int, int, int], flat_idx: np.ndarray) -> np.ndarray:
+    """Flat index of each position's parent (position // 2 per axis)."""
+    nz, ny, nx = shape
+    z, rem = np.divmod(flat_idx, ny * nx)
+    y, x = np.divmod(rem, nx)
+    return ((z >> 1) * ny + (y >> 1)) * nx + (x >> 1)
+
+
+def _subtree_max(coeffs_abs: np.ndarray, levels: int) -> np.ndarray:
+    """``S[p] = max(|c[p]|, max over descendants)`` via pyramid reduction."""
+    S = coeffs_abs.copy()
+    nz, ny, nx = S.shape
+    corner = min(n >> levels for n in S.shape)
+    size = np.array(S.shape)
+    while (size > (np.array(S.shape) >> levels)).any():
+        half = size // 2
+        child = S[: size[0], : size[1], : size[2]]
+        cm = child.reshape(half[0], 2, half[1], 2, half[2], 2).max(axis=(1, 3, 5))
+        region = S[: half[0], : half[1], : half[2]]
+        np.maximum(
+            coeffs_abs[: half[0], : half[1], : half[2]], cm, out=region
+        )
+        size = half
+    return S
+
+
+@dataclass
+class ZerotreeStats:
+    planes: int
+    dominant_symbols: int
+    refinement_bits: int
+    raw_bytes: int
+    compressed_bytes: int
+
+    @property
+    def rate(self) -> float:
+        return self.raw_bytes / self.compressed_bytes if self.compressed_bytes else 0.0
+
+
+def encode(
+    coeffs: np.ndarray,
+    levels: int,
+    t_stop: float,
+    max_planes: int = 24,
+) -> tuple[bytes, ZerotreeStats]:
+    """Encode a 3D coefficient block; error bounded by ``t_stop``."""
+    if coeffs.ndim != 3:
+        raise ValueError("zerotree encode expects a 3D coefficient block")
+    if t_stop <= 0:
+        raise ValueError("t_stop must be positive")
+    c = np.asarray(coeffs, dtype=np.float64)
+    flat = c.reshape(-1)
+    absflat = np.abs(flat)
+    vmax = float(absflat.max())
+    if vmax < t_stop:
+        planes = 0
+        T0 = t_stop
+    else:
+        T0 = 2.0 ** np.floor(np.log2(vmax))
+        # Enough planes that the last threshold T0 / 2^(planes-1) <= t_stop:
+        # insignificant coefficients are then < t_stop and refined ones are
+        # localized to intervals of width <= t_stop.
+        planes = min(max_planes, int(np.ceil(np.log2(T0 / t_stop))) + 1)
+
+    S = _subtree_max(np.abs(c), levels).reshape(-1)
+    scan = _scan_levels(c.shape, levels)
+    parents = [None] + [_parent_flat(c.shape, idx) for idx in scan[1:]]
+
+    n = flat.size
+    significant = np.zeros(n, dtype=bool)
+    sig_order: list[np.ndarray] = []  # flat indices, in discovery order
+    lo = np.zeros(n)  # uncertainty interval per significant coefficient
+    hi = np.zeros(n)
+
+    writer = _BitWriter()
+    dom_count = 0
+    ref_count = 0
+    T = T0
+    for _plane in range(planes):
+        # -- subordinate pass: refine previously significant coefficients.
+        for idx in sig_order:
+            mid = 0.5 * (lo[idx] + hi[idx])
+            bits = (absflat[idx] >= mid).astype(np.int64)
+            writer.write_array(bits, 1)
+            lo[idx] = np.where(bits == 1, mid, lo[idx])
+            hi[idx] = np.where(bits == 1, hi[idx], mid)
+            ref_count += idx.size
+
+        # -- dominant pass.
+        covered = np.zeros(n, dtype=bool)
+        new_sig_this_plane: list[np.ndarray] = []
+        for lvl, idx in enumerate(scan):
+            if idx.size == 0:
+                continue
+            if lvl > 0:
+                covered[idx] = covered[parents[lvl]]
+            scanned = idx[~covered[idx] & ~significant[idx]]
+            if scanned.size == 0:
+                continue
+            sym = np.empty(scanned.size, dtype=np.int64)
+            is_sig = absflat[scanned] >= T
+            subtree_quiet = S[scanned] < T
+            sym[is_sig & (flat[scanned] >= 0)] = _SYM_POS
+            sym[is_sig & (flat[scanned] < 0)] = _SYM_NEG
+            sym[~is_sig & subtree_quiet] = _SYM_ZTR
+            sym[~is_sig & ~subtree_quiet] = _SYM_IZ
+            writer.write_array(sym, 2)
+            dom_count += sym.size
+            ztr = scanned[(~is_sig) & subtree_quiet]
+            covered[ztr] = True
+            newly = scanned[is_sig]
+            if newly.size:
+                significant[newly] = True
+                lo[newly] = T
+                hi[newly] = 2.0 * T
+                new_sig_this_plane.append(newly)
+        sig_order.extend(new_sig_this_plane)
+        T *= 0.5
+
+    raw_bits = writer.getvalue()
+    payload = zlib.compress(raw_bits, 6)
+    header = _HEADER.pack(
+        _MAGIC, *c.shape, planes, T0, len(payload)
+    )
+    stats = ZerotreeStats(
+        planes=planes,
+        dominant_symbols=dom_count,
+        refinement_bits=ref_count,
+        raw_bytes=c.size * 4,
+        compressed_bytes=len(header) + len(payload),
+    )
+    return header + payload, stats
+
+
+def decode(data: bytes, levels: int) -> np.ndarray:
+    """Decode a zerotree payload back to (quantized) coefficients."""
+    magic, nz, ny, nx, planes, T0, payload_len = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise ValueError("bad zerotree payload magic")
+    shape = (nz, ny, nx)
+    raw = zlib.decompress(data[_HEADER.size : _HEADER.size + payload_len])
+    reader = _BitReader(raw)
+
+    n = nz * ny * nx
+    flat = np.zeros(n)
+    significant = np.zeros(n, dtype=bool)
+    sign = np.ones(n)
+    lo = np.zeros(n)
+    hi = np.zeros(n)
+    sig_order: list[np.ndarray] = []
+
+    scan = _scan_levels(shape, levels)
+    parents = [None] + [_parent_flat(shape, idx) for idx in scan[1:]]
+
+    T = T0
+    for _plane in range(planes):
+        for idx in sig_order:
+            bits = reader.read_array(idx.size, 1)
+            mid = 0.5 * (lo[idx] + hi[idx])
+            lo[idx] = np.where(bits == 1, mid, lo[idx])
+            hi[idx] = np.where(bits == 1, hi[idx], mid)
+
+        covered = np.zeros(n, dtype=bool)
+        new_sig_this_plane: list[np.ndarray] = []
+        for lvl, idx in enumerate(scan):
+            if idx.size == 0:
+                continue
+            if lvl > 0:
+                covered[idx] = covered[parents[lvl]]
+            scanned = idx[~covered[idx] & ~significant[idx]]
+            if scanned.size == 0:
+                continue
+            sym = reader.read_array(scanned.size, 2)
+            ztr = scanned[sym == _SYM_ZTR]
+            covered[ztr] = True
+            newly = scanned[(sym == _SYM_POS) | (sym == _SYM_NEG)]
+            if newly.size:
+                significant[newly] = True
+                sign[scanned[sym == _SYM_NEG]] = -1.0
+                lo[newly] = T
+                hi[newly] = 2.0 * T
+                new_sig_this_plane.append(newly)
+        sig_order.extend(new_sig_this_plane)
+        T *= 0.5
+
+    mid = 0.5 * (lo + hi)
+    flat[significant] = sign[significant] * mid[significant]
+    return flat.reshape(shape)

@@ -1,0 +1,84 @@
+"""Ring buffers of 2D slices for the RHS z-sweep.
+
+The paper's RHS kernel never materializes a padded 3D temporary per
+quantity: it streams 2D z-slices through small ring buffers (6 slices per
+flow quantity, Section 6 "Enhancing ILP") so that the working set stays
+cache-resident.  :class:`SliceRing` reproduces that structure: a fixed
+capacity circular store of equally-shaped slices with O(1) push and
+indexed access from the oldest entry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Ring depth required by the WENO5 z-stencil: a face needs 6 consecutive
+#: slices (paper: "the ring buffer ... contains 6 slices").
+RING_DEPTH = 6
+
+
+class SliceRing:
+    """Fixed-capacity ring of preallocated 2D (or SoA-2D) slices.
+
+    Unlike ``collections.deque`` the storage is preallocated once and
+    reused -- pushing copies into the oldest slot, exactly like the
+    paper's per-thread ring buffers.  Slices are indexed from the oldest
+    (``ring[0]``) to the newest (``ring[len(ring)-1]``).
+    """
+
+    def __init__(self, slice_shape: tuple[int, ...], depth: int = RING_DEPTH, dtype=np.float64):
+        if depth < 1:
+            raise ValueError("ring depth must be positive")
+        self.depth = depth
+        self.slice_shape = tuple(slice_shape)
+        self._store = np.empty((depth,) + self.slice_shape, dtype=dtype)
+        self._count = 0  #: total slices ever pushed
+
+    def __len__(self) -> int:
+        return min(self._count, self.depth)
+
+    @property
+    def full(self) -> bool:
+        return self._count >= self.depth
+
+    def push(self, slice_data: np.ndarray) -> np.ndarray:
+        """Copy ``slice_data`` into the next slot; returns the slot view."""
+        if slice_data.shape != self.slice_shape:
+            raise ValueError(
+                f"slice shape {slice_data.shape} != ring shape {self.slice_shape}"
+            )
+        slot = self._store[self._count % self.depth]
+        slot[...] = slice_data
+        self._count += 1
+        return slot
+
+    def push_slot(self) -> np.ndarray:
+        """Return the next slot for in-place filling (zero-copy push).
+
+        The caller must write the slot *before* the next ``push``/
+        ``push_slot`` call.
+        """
+        slot = self._store[self._count % self.depth]
+        self._count += 1
+        return slot
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        """The ``i``-th oldest live slice (``i = 0`` is the oldest)."""
+        live = len(self)
+        if not -live <= i < live:
+            raise IndexError(f"ring index {i} out of range for {live} live slices")
+        if i < 0:
+            i += live
+        oldest = self._count - live
+        return self._store[(oldest + i) % self.depth]
+
+    def window(self) -> list[np.ndarray]:
+        """All live slices, oldest first."""
+        return [self[i] for i in range(len(self))]
+
+    def nbytes(self) -> int:
+        """Memory footprint -- the paper budgets ~250 KB of rings per thread."""
+        return self._store.nbytes
+
+    def reset(self) -> None:
+        self._count = 0

@@ -1,0 +1,27 @@
+"""Node layer: per-rank block grid, ghosts, SFC ordering, work dispatch.
+
+"The node layer is responsible for coordinating the work within the
+ranks.  The work associated to each block is exclusively assigned to one
+thread." (paper Section 6)
+"""
+
+from .dispatcher import Dispatcher, ScheduleStats, simulate_dynamic_schedule
+from .ghosts import BOUNDARY_KINDS, BoundarySpec, fill_block_ghosts
+from .grid import BlockGrid
+from .sfc import locality_score, morton_decode, morton_encode, morton_order
+from .solver import NodeSolver
+
+__all__ = [
+    "BOUNDARY_KINDS",
+    "BlockGrid",
+    "BoundarySpec",
+    "Dispatcher",
+    "NodeSolver",
+    "ScheduleStats",
+    "fill_block_ghosts",
+    "locality_score",
+    "morton_decode",
+    "morton_encode",
+    "morton_order",
+    "simulate_dynamic_schedule",
+]

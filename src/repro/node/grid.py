@@ -1,0 +1,167 @@
+"""Per-rank block grid (node layer).
+
+Each MPI rank owns a cartesian grid of cubic blocks of constant size
+(paper Section 6: "the computational domain is decomposed into subdomains
+across the ranks ... with a constant subdomain size").  The node layer
+coordinates the work within the rank: block iteration follows the Morton
+space-filling curve, and kernels receive per-block padded work areas whose
+ghosts are reconstructed from sibling blocks (intra-rank) or from the
+cluster layer's global ghost buffer (inter-rank).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from ..physics.state import NQ, STORAGE_DTYPE
+from ..core.block import Block
+from .sfc import morton_order
+
+
+class BlockGrid:
+    """A dense cartesian collection of blocks owned by one rank.
+
+    Parameters
+    ----------
+    num_blocks:
+        Blocks per direction ``(Bz, By, Bx)``.
+    block_size:
+        Cells per block edge.
+    h:
+        Uniform grid spacing.
+    origin:
+        Physical coordinates of the rank subdomain's low corner.
+    """
+
+    def __init__(
+        self,
+        num_blocks: tuple[int, int, int],
+        block_size: int,
+        h: float,
+        origin: tuple[float, float, float] = (0.0, 0.0, 0.0),
+    ):
+        self.num_blocks = tuple(int(b) for b in num_blocks)
+        if any(b < 1 for b in self.num_blocks):
+            raise ValueError(f"invalid block counts {num_blocks}")
+        self.block_size = int(block_size)
+        self.h = float(h)
+        self.origin = tuple(float(o) for o in origin)
+
+        self.blocks: dict[tuple[int, int, int], Block] = {}
+        #: Low-storage RK residual registers, one AoS array per block.
+        self.residuals: dict[tuple[int, int, int], np.ndarray] = {}
+        indices = []
+        for bz in range(self.num_blocks[0]):
+            for by in range(self.num_blocks[1]):
+                for bx in range(self.num_blocks[2]):
+                    idx = (bz, by, bx)
+                    self.blocks[idx] = Block(self.block_size, idx)
+                    indices.append(idx)
+        arr = np.array(indices)
+        self._sfc_indices = [tuple(arr[i]) for i in morton_order(arr)]
+
+    # -- geometry --------------------------------------------------------
+
+    @property
+    def cells(self) -> tuple[int, int, int]:
+        """Rank-subdomain extent in cells ``(nz, ny, nx)``."""
+        n = self.block_size
+        return tuple(b * n for b in self.num_blocks)
+
+    @property
+    def num_blocks_total(self) -> int:
+        return len(self.blocks)
+
+    def block_origin(self, index: tuple[int, int, int]) -> tuple[float, float, float]:
+        """Physical low-corner coordinates of one block."""
+        n = self.block_size
+        return tuple(
+            self.origin[d] + index[d] * n * self.h for d in range(3)
+        )
+
+    def cell_centers(self, index: tuple[int, int, int]):
+        """Cell-center coordinate arrays ``(z, y, x)`` of one block."""
+        o = self.block_origin(index)
+        n = self.block_size
+        return tuple(
+            o[d] + (np.arange(n) + 0.5) * self.h for d in range(3)
+        )
+
+    # -- traversal -------------------------------------------------------
+
+    def sfc_blocks(self) -> Iterator[Block]:
+        """Blocks in Morton order (the kernel-dispatch order)."""
+        for idx in self._sfc_indices:
+            yield self.blocks[idx]
+
+    def neighbor(self, index: tuple[int, int, int], axis: int, side: int) -> Block | None:
+        """Face neighbor of a block, or ``None`` at the rank boundary."""
+        coords = list(index)
+        coords[axis] += side
+        return self.blocks.get(tuple(coords))
+
+    def is_rank_boundary(self, index: tuple[int, int, int], axis: int, side: int) -> bool:
+        coords = list(index)
+        coords[axis] += side
+        return not (0 <= coords[axis] < self.num_blocks[axis])
+
+    # -- residual registers ----------------------------------------------
+
+    def residual(self, index: tuple[int, int, int]) -> np.ndarray:
+        """The block's low-storage RK register, allocated on first use."""
+        res = self.residuals.get(index)
+        if res is None:
+            n = self.block_size
+            res = np.zeros((n, n, n, NQ), dtype=STORAGE_DTYPE)
+            self.residuals[index] = res
+        return res
+
+    def reset_residuals(self) -> None:
+        for res in self.residuals.values():
+            res[...] = 0.0
+
+    # -- whole-field assembly (tests, diagnostics, I/O) --------------------
+
+    def to_array(self) -> np.ndarray:
+        """Assemble the rank's field into one AoS array ``(nz, ny, nx, NQ)``."""
+        nz, ny, nx = self.cells
+        out = np.empty((nz, ny, nx, NQ), dtype=STORAGE_DTYPE)
+        n = self.block_size
+        for idx, block in self.blocks.items():
+            bz, by, bx = idx
+            out[
+                bz * n : (bz + 1) * n,
+                by * n : (by + 1) * n,
+                bx * n : (bx + 1) * n,
+            ] = block.data
+        return out
+
+    def from_array(self, field: np.ndarray) -> None:
+        """Scatter a full AoS array into the blocks."""
+        nz, ny, nx = self.cells
+        if field.shape != (nz, ny, nx, NQ):
+            raise ValueError(
+                f"field shape {field.shape} != rank extent {(nz, ny, nx, NQ)}"
+            )
+        n = self.block_size
+        for idx, block in self.blocks.items():
+            bz, by, bx = idx
+            block.data[...] = field[
+                bz * n : (bz + 1) * n,
+                by * n : (by + 1) * n,
+                bx * n : (bx + 1) * n,
+            ]
+
+    def fill(self, fn) -> None:
+        """Initialize every cell from ``fn(z, y, x) -> (NQ,) state``.
+
+        ``fn`` receives broadcastable cell-center coordinate arrays and
+        must return an AoS array; used by initial-condition builders.
+        """
+        for idx, block in self.blocks.items():
+            z, y, x = self.cell_centers(idx)
+            block.data[...] = fn(
+                z[:, None, None], y[None, :, None], x[None, None, :]
+            ).astype(STORAGE_DTYPE)

@@ -1,0 +1,73 @@
+"""Instruction-issue upper bounds (paper Table 8).
+
+The BQC core issues at most one QPX instruction per cycle; the peak
+assumes every such instruction is a 4-wide FMA (8 FLOP).  A kernel whose
+QPX stream has an average per-lane density of ``d`` FLOP/instruction can
+therefore reach at most
+
+    peak fraction = d * simd_width / (simd_width * flops_per_lane)
+                  = d / flops_per_lane,
+
+i.e. ``d/2`` with FMA.  The paper analyzes the compiler-generated assembly
+of the five RHS substages (CONV/WENO/HLLE/SUM/BACK) and concludes the RHS
+cannot exceed 76 % of peak -- "it is impossible to achieve higher peak
+fractions as the FLOP/instruction density is not high enough".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .kernels import RHS_STAGES, StageMix
+from .machines import BGQ_NODE, MachineSpec
+
+
+@dataclass(frozen=True)
+class IssueBound:
+    """Issue-rate bound of one kernel stage."""
+
+    stage: str
+    weight: float
+    flop_per_instr: float  #: per-lane density
+    simd_width: int
+    peak_fraction: float
+
+
+#: FLOP per lane per cycle the *peak* assumes.  On BGQ this is the QPX
+#: FMA (2); Sandy Bridge's nominal peak likewise counts 2 per lane (dual
+#: add+mul ports), so the divisor is 2 on every platform in the paper.
+_PEAK_FLOPS_PER_LANE_CYCLE = 2.0
+
+
+def stage_bound(stage: StageMix, machine: MachineSpec = BGQ_NODE) -> IssueBound:
+    """Issue bound of one RHS substage on ``machine``."""
+    frac = stage.flop_per_instr / _PEAK_FLOPS_PER_LANE_CYCLE
+    return IssueBound(
+        stage=stage.name,
+        weight=stage.weight,
+        flop_per_instr=stage.flop_per_instr,
+        simd_width=machine.simd_width,
+        peak_fraction=frac,
+    )
+
+
+def rhs_issue_bounds(machine: MachineSpec = BGQ_NODE) -> list[IssueBound]:
+    """Per-stage bounds plus the weighted ALL row (paper Table 8)."""
+    rows = [stage_bound(s, machine) for s in RHS_STAGES]
+    wsum = sum(s.weight for s in RHS_STAGES)
+    all_density = sum(s.weight * s.flop_per_instr for s in RHS_STAGES) / wsum
+    rows.append(
+        IssueBound(
+            stage="ALL",
+            weight=1.0,
+            flop_per_instr=all_density,
+            simd_width=machine.simd_width,
+            peak_fraction=all_density / _PEAK_FLOPS_PER_LANE_CYCLE,
+        )
+    )
+    return rows
+
+
+def rhs_issue_bound_fraction(machine: MachineSpec = BGQ_NODE) -> float:
+    """The ALL-row bound (0.755 on BGQ -- the paper rounds to 76 %)."""
+    return rhs_issue_bounds(machine)[-1].peak_fraction

@@ -1,0 +1,183 @@
+"""Network and I/O models of the Blue Gene/Q installation.
+
+"BQCs are placed in a five-dimensional network topology, with a network
+bandwidth of 2 GB/s for sending and 2 GB/s for receiving data ...  Each
+rack features additional BQC nodes for I/O, with an I/O bandwidth of
+4 GB/s per node." (paper Section 4)
+
+These models quantify the claims the paper makes about communication and
+I/O being hidden:
+
+* the six halo messages (3-30 MB) transfer in a time one order of
+  magnitude below the interior-compute time they overlap with
+  ("the time spent in the node layer is expected to be one order of
+  magnitude larger than the communication time");
+* the DT allreduce costs microseconds on the BGQ collective network yet
+  serializes the DT kernel (Table 5's 18 % -> 7 % drop);
+* compressed dumps take ~1 % of run time where uncompressed dumps would
+  take the 10-100x longer the compression scheme saves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .kernels import CELL_BYTES, RHS, STENCIL
+from .machines import SEQUOIA, ClusterSpec
+from .scaling import cluster_perf
+
+
+@dataclass(frozen=True)
+class TorusNetwork:
+    """The BGQ 5D torus, reduced to what the halo exchange exercises."""
+
+    link_bw_gbs: float = 2.0  #: per direction, send and receive each
+    dimensions: int = 5
+    #: Per-hop latency of the BGQ torus router (~40 ns) plus software
+    #: overhead per message (~1 us MPI).
+    hop_latency_s: float = 40e-9
+    message_overhead_s: float = 1e-6
+
+    def torus_extents(self, nodes: int) -> tuple[int, ...]:
+        """A near-balanced 5D factorization of the node count."""
+        dims = [1] * self.dimensions
+        n = nodes
+        f = 2
+        factors = []
+        while f * f <= n:
+            while n % f == 0:
+                factors.append(f)
+                n //= f
+            f += 1
+        if n > 1:
+            factors.append(n)
+        for fac in sorted(factors, reverse=True):
+            dims[dims.index(min(dims))] *= fac
+        return tuple(sorted(dims, reverse=True))
+
+    def average_hops(self, nodes: int) -> float:
+        """Mean torus distance between random nodes (quarter extent per
+        dimension, summed)."""
+        return sum(e / 4.0 for e in self.torus_extents(nodes))
+
+    def point_to_point_time(self, message_bytes: float, hops: float = 1.0) -> float:
+        """Seconds to deliver one message (bandwidth + latency terms)."""
+        return (
+            self.message_overhead_s
+            + hops * self.hop_latency_s
+            + message_bytes / (self.link_bw_gbs * 1e9)
+        )
+
+    def allreduce_time(self, nodes: int, payload_bytes: float = 8.0) -> float:
+        """Scalar allreduce on the combining collective network: a tree
+        traversal of depth log2(nodes)."""
+        depth = math.ceil(math.log2(max(nodes, 2)))
+        return depth * (self.hop_latency_s * 4 + payload_bytes / (self.link_bw_gbs * 1e9)) + self.message_overhead_s
+
+
+def halo_message_bytes(subdomain_cells: int) -> float:
+    """Size of one face message for a cubic per-node subdomain.
+
+    The paper quotes 3-30 MB per message; a 512^3 per-node subdomain gives
+    ghost slabs of 3 x 512^2 cells x 28 B = 22 MB.
+    """
+    return STENCIL * subdomain_cells**2 * CELL_BYTES
+
+
+@dataclass
+class CommComputeOverlap:
+    """Halo-exchange vs interior-compute comparison for one configuration."""
+
+    subdomain_cells: int
+    message_bytes: float
+    comm_seconds: float
+    compute_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        """compute / comm -- the paper expects ~one order of magnitude."""
+        return self.compute_seconds / self.comm_seconds
+
+
+def overlap_analysis(
+    subdomain_cells: int = 512,
+    network: TorusNetwork | None = None,
+    racks: int = 96,
+    cluster: ClusterSpec = SEQUOIA,
+) -> CommComputeOverlap:
+    """Is the halo exchange hidden behind interior compute?
+
+    Communication: six simultaneous face messages through distinct torus
+    links (BGQ routes each direction independently), so the wall time is
+    one message's time.  Compute: the interior RHS evaluation at the
+    modeled cluster rate.
+    """
+    network = network or TorusNetwork()
+    msg = halo_message_bytes(subdomain_cells)
+    comm = network.point_to_point_time(msg, hops=1.0)
+    rhs_rate = cluster_perf(RHS, racks, cluster).peak_fraction * (
+        cluster.node.peak_gflops * 1e9
+    )
+    interior_cells = max(subdomain_cells - 2 * STENCIL, 1) ** 3
+    compute = interior_cells * RHS.flops_per_cell / rhs_rate
+    return CommComputeOverlap(
+        subdomain_cells=subdomain_cells,
+        message_bytes=msg,
+        comm_seconds=comm,
+        compute_seconds=compute,
+    )
+
+
+@dataclass
+class DumpModel:
+    """I/O time of one production data dump."""
+
+    uncompressed_bytes: float
+    compressed_bytes: float
+    io_seconds_compressed: float
+    io_seconds_uncompressed: float
+    steps_between_dumps: int
+    step_seconds: float
+
+    @property
+    def io_time_saving(self) -> float:
+        return self.io_seconds_uncompressed / self.io_seconds_compressed
+
+    @property
+    def dump_fraction_of_runtime(self) -> float:
+        """Fraction of wall time spent dumping (paper: <= 4-5 %, < 1 %
+        for the compression itself)."""
+        return self.io_seconds_compressed / (
+            self.io_seconds_compressed
+            + self.steps_between_dumps * self.step_seconds
+        )
+
+
+def dump_analysis(
+    total_cells: float = 13.2e12,
+    rate_p: float = 15.0,
+    rate_gamma: float = 125.0,
+    steps_between_dumps: int = 100,
+    step_seconds: float = 18.3,
+    cluster: ClusterSpec = SEQUOIA,
+) -> DumpModel:
+    """Model one (p, Gamma) dump at production scale.
+
+    Uncompressed: two float32 fields of ``total_cells``; the paper's 7.9 TB
+    for a 9-unit simulation corresponds to many dumps -- here we model a
+    single dump.  I/O bandwidth: the installation's aggregate I/O-node
+    bandwidth.
+    """
+    field_bytes = 4.0 * total_cells
+    uncompressed = 2.0 * field_bytes
+    compressed = field_bytes / rate_p + field_bytes / rate_gamma
+    io_bw = cluster.io_bw_gbs * 1e9
+    return DumpModel(
+        uncompressed_bytes=uncompressed,
+        compressed_bytes=compressed,
+        io_seconds_compressed=compressed / io_bw,
+        io_seconds_uncompressed=uncompressed / io_bw,
+        steps_between_dumps=steps_between_dumps,
+        step_seconds=step_seconds,
+    )

@@ -1,0 +1,46 @@
+"""Table formatting helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+
+def format_table(rows: Iterable[Mapping], title: str | None = None,
+                 floatfmt: str = "{:.2f}") -> str:
+    """Render a list of dict rows as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    cols = list(rows[0].keys())
+    rendered = []
+    for row in rows:
+        rendered.append(
+            [
+                floatfmt.format(v) if isinstance(v, float) else str(v)
+                for v in (row.get(c, "") for c in cols)
+            ]
+        )
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rendered:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def compare_row(name: str, paper: float, model: float, unit: str = "") -> dict:
+    """A paper-vs-model comparison row with relative deviation."""
+    dev = (model - paper) / paper if paper else float("nan")
+    return {
+        "quantity": name,
+        "paper": paper,
+        "model": model,
+        "unit": unit,
+        "deviation [%]": 100.0 * dev,
+    }

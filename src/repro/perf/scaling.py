@@ -1,0 +1,352 @@
+"""Layer-composition performance model: core -> node -> cluster.
+
+Regenerates the paper's measured-performance tables from three ingredient
+models plus a small set of named, calibrated efficiency constants:
+
+* the **issue-rate bound** (:mod:`repro.perf.issue`) caps vectorized
+  compute-bound kernels (RHS);
+* the **roofline** (:mod:`repro.perf.roofline`) with the traffic model's
+  operational intensities caps bandwidth-bound kernels (UP);
+* calibrated **pipeline efficiencies** absorb what neither captures
+  (FDIV/FSQRT latency chains in DT, load/store stalls in RHS, transpose
+  overheads in FWT).  Each constant is documented next to the paper
+  measurement it was calibrated against; the benchmarks print model vs
+  paper side by side, and EXPERIMENTS.md records the deltas.
+
+Layer degradations (paper Tables 5-6):
+
+* node layer: intra-rank ghost reconstruction costs the RHS ~3 %; the DT
+  reduction *gains* from SMT overlap at node scope;
+* cluster layer: halo-exchange and allreduce losses grow with the machine
+  size (fit to the 1/24/96-rack measurements).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .issue import rhs_issue_bound_fraction
+from .kernels import DT, FWT, RHS, UP, KernelModel
+from .machines import (
+    BGQ_NODE,
+    ClusterSpec,
+    MachineSpec,
+    SEQUOIA,
+)
+from .traffic import traffic_for
+
+# ---------------------------------------------------------------------------
+# Calibrated constants (each annotated with its Table 7 / Table 5 anchor).
+# ---------------------------------------------------------------------------
+
+#: Fraction of the issue bound the RHS pipeline sustains.
+#: QPX: 8.27 GFLOP/s measured / (12.8 * 0.755) bound = 0.858 (Table 7).
+#: C++ : 2.21 / (3.2 * 0.755) = 0.914.
+RHS_PIPELINE_EFF = {"qpx": 0.858, "scalar": 0.914}
+
+#: DT is dominated by the divide/sqrt latency chain of the sound speed;
+#: SIMD helps only 2.2x (Table 7: 0.90 -> 1.96 GFLOP/s per core).
+DT_PEAK_FRACTION = {"qpx": 0.153, "scalar": 0.281}
+#: On the x86 platforms the out-of-order cores overlap the chain better
+#: (Table 10: 18 % / 16 % of peak).
+DT_PEAK_FRACTION_X86 = 0.17
+
+#: UP sustains this fraction of its roofline bound (streaming efficiency;
+#: Table 7: 0.29 measured / 0.35 bound).
+UP_STREAM_EFF = 0.83
+
+#: FWT peak fractions (Table 7: 1.29 / 12.8 = 0.10 QPX, 0.40 / 3.2 scalar).
+FWT_PEAK_FRACTION = {"qpx": 0.101, "scalar": 0.125}
+
+#: Node-layer factors (Table 6): ghost reconstruction costs the RHS ~3 %
+#: (65 % core -> 62 % node); the DT reduction overlaps across SMT threads
+#: at node scope (15 % -> 18 %); UP/FWT unchanged.
+NODE_FACTOR = {"RHS": 62.0 / 65.0, "DT": 1.18, "UP": 1.0, "FWT": 1.0}
+
+#: Cluster-layer RHS efficiency vs racks (fit of Table 5/6:
+#: 62 % node -> 60 % @ 1 rack -> 57 % @ 24 -> 55 % @ 96).
+_RHS_CLUSTER_BASE = 0.968
+_RHS_CLUSTER_SLOPE = 0.0123  # per log2(racks)
+
+#: Cluster DT efficiency: the global scalar allreduce serializes
+#: (Table 5/6: 18 % node -> 7 % @ 1 rack -> 5 % at scale).
+_DT_CLUSTER_1RACK = 7.0 / 18.0
+_DT_CLUSTER_SCALED = 5.0 / 18.0
+
+#: Micro-fusion of the WENO kernel (Table 9): removes ~23 % of the issued
+#: instructions (manual CSE) and lifts the sustained fraction of the issue
+#: bound from 0.795 to 0.92.
+WENO_STAGE_BOUND = 1.56 / 2.0  # Table 8 WENO row
+WENO_BASELINE_EFF = 0.795  # -> 62 % of peak (Table 9)
+WENO_FUSED_EFF = 0.92  # -> 72 % of peak (Table 9)
+#: Manual common-subexpression elimination enabled by fusing removes ~11 %
+#: of the floating-point work, which together with the rate gain yields
+#: the paper's 1.3x cycle improvement.
+WENO_FUSED_FLOP_REDUCTION = 0.11
+
+
+@dataclass(frozen=True)
+class KernelPerf:
+    """Modeled performance of one kernel at one scope."""
+
+    kernel: str
+    gflops: float  #: per the scope's aggregate (core / node / cluster)
+    peak_fraction: float
+
+
+# ---------------------------------------------------------------------------
+# Core layer (per core; Table 7)
+# ---------------------------------------------------------------------------
+
+
+def core_perf(kernel: KernelModel, machine: MachineSpec = BGQ_NODE,
+              vectorized: bool = True) -> KernelPerf:
+    """Per-core performance of one kernel (paper Table 7)."""
+    mode = "qpx" if vectorized else "scalar"
+    peak = (
+        machine.peak_per_core_gflops
+        if vectorized
+        else machine.scalar_peak_per_core_gflops
+    )
+    if kernel.name == "RHS":
+        g = peak * rhs_issue_bound_fraction(machine) * RHS_PIPELINE_EFF[mode]
+    elif kernel.name == "DT":
+        if machine is BGQ_NODE or machine.name.startswith("IBM"):
+            g = peak * DT_PEAK_FRACTION[mode]
+        else:
+            g = peak * DT_PEAK_FRACTION_X86
+    elif kernel.name == "UP":
+        oi = traffic_for(UP).reordered_oi
+        bw_per_core = machine.dram_bw_gbs / machine.cores
+        g = min(peak, oi * bw_per_core) * UP_STREAM_EFF
+    elif kernel.name == "FWT":
+        g = peak * FWT_PEAK_FRACTION[mode]
+    else:
+        raise KeyError(f"unknown kernel {kernel.name}")
+    return KernelPerf(kernel.name, g, g / machine.peak_per_core_gflops)
+
+
+def table7(machine: MachineSpec = BGQ_NODE) -> list[dict]:
+    """Core-layer C++ vs QPX comparison (paper Table 7)."""
+    rows = []
+    for kernel in (RHS, DT, UP, FWT):
+        scalar = core_perf(kernel, machine, vectorized=False)
+        qpx = core_perf(kernel, machine, vectorized=True)
+        rows.append(
+            {
+                "kernel": kernel.name,
+                "C++ [GFLOP/s]": scalar.gflops,
+                "QPX [GFLOP/s]": qpx.gflops,
+                "Peak fraction [%]": 100.0 * qpx.peak_fraction,
+                "Improvement": qpx.gflops / scalar.gflops,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Node layer (per node; Table 6, Fig. 9)
+# ---------------------------------------------------------------------------
+
+
+def node_perf(kernel: KernelModel, machine: MachineSpec = BGQ_NODE,
+              vectorized: bool = True) -> KernelPerf:
+    """Per-node performance (core layer x cores x node-layer factor)."""
+    core = core_perf(kernel, machine, vectorized)
+    g = core.gflops * machine.cores * NODE_FACTOR.get(kernel.name, 1.0)
+    g = min(g, machine.peak_gflops)
+    # Bandwidth-bound kernels do not scale past the socket bandwidth.
+    oi = None
+    if kernel.name in ("UP", "DT"):
+        oi = traffic_for(kernel).reordered_oi
+    if kernel.name == "UP" and oi is not None:
+        g = min(g, oi * machine.dram_bw_gbs * UP_STREAM_EFF)
+    return KernelPerf(kernel.name, g, g / machine.peak_gflops)
+
+
+def _smt_efficiency(threads_per_core: float) -> float:
+    """Throughput gain saturation of the BQC's 4-way SMT (latency hiding)."""
+    if threads_per_core <= 1:
+        return 0.55
+    if threads_per_core <= 2:
+        return 0.80
+    if threads_per_core <= 3:
+        return 0.95
+    return 1.0
+
+
+def fig9_weak_scaling(machine: MachineSpec = BGQ_NODE,
+                      thread_counts=(1, 2, 4, 8, 16, 32, 64)) -> list[dict]:
+    """Node-layer thread scaling of RHS/DT/UP (paper Fig. 9, left).
+
+    RHS and DT scale with cores (SMT hides back-end latency); UP saturates
+    at the memory bandwidth -- "lower [scaling] for the UP kernel, caused
+    by low FLOP/B ratios".
+    """
+    rows = []
+    for t in thread_counts:
+        cores_used = min(t, machine.cores)
+        smt = _smt_efficiency(t / cores_used)
+        row = {"threads": t}
+        for kernel in (RHS, DT, UP):
+            if kernel.name == "UP":
+                # Bandwidth-bound: cores add streaming capability until
+                # the node's memory controllers saturate.
+                oi = traffic_for(UP).reordered_oi
+                bw = min(
+                    cores_used * machine.single_core_stream_bw,
+                    machine.dram_bw_gbs,
+                )
+                g = oi * bw * UP_STREAM_EFF * smt
+            else:
+                per_core = core_perf(kernel, machine).gflops
+                g = per_core * cores_used * smt * NODE_FACTOR.get(kernel.name, 1.0)
+            row[kernel.name] = g
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Cluster layer (Tables 5, 6; throughput)
+# ---------------------------------------------------------------------------
+
+
+def _cluster_eff(kernel: str, racks: int) -> float:
+    if kernel == "RHS":
+        return _RHS_CLUSTER_BASE - _RHS_CLUSTER_SLOPE * math.log2(max(racks, 1))
+    if kernel == "DT":
+        if racks <= 1:
+            return _DT_CLUSTER_1RACK
+        return _DT_CLUSTER_SCALED
+    return 1.0  # UP: no communication
+
+
+def cluster_perf(kernel: KernelModel, racks: int,
+                 cluster: ClusterSpec = SEQUOIA) -> KernelPerf:
+    """Per-kernel cluster performance at ``racks`` racks (Table 5 rows)."""
+    node = node_perf(kernel, cluster.node)
+    g_node = node.gflops * _cluster_eff(kernel.name, racks)
+    nodes = cluster.nodes_per_rack * racks
+    g = g_node * nodes
+    return KernelPerf(kernel.name, g, g_node / cluster.node.peak_gflops)
+
+
+def overall_perf(racks: int, cluster: ClusterSpec = SEQUOIA) -> KernelPerf:
+    """The ALL column: total FLOPs / total time over a production step."""
+    total_flops = 0.0
+    total_time = 0.0  # seconds per cell per step, per node
+    for kernel in (RHS, DT, UP):
+        f = kernel.flops_per_cell_step()
+        rate = cluster_perf(kernel, racks, cluster).peak_fraction
+        rate_gflops = rate * cluster.node.peak_gflops
+        total_flops += f
+        total_time += f / (rate_gflops * 1e9)
+    g_node = total_flops / total_time / 1e9
+    nodes = cluster.nodes_per_rack * racks
+    return KernelPerf("ALL", g_node * nodes, g_node / cluster.node.peak_gflops)
+
+
+def table5(rack_counts=(1, 24, 96), cluster: ClusterSpec = SEQUOIA) -> list[dict]:
+    """Paper Table 5: achieved performance at 1 / 24 / 96 racks."""
+    rows = []
+    for racks in rack_counts:
+        row = {"racks": racks}
+        for kernel in (RHS, DT, UP):
+            perf = cluster_perf(kernel, racks, cluster)
+            row[kernel.name + " [%]"] = 100.0 * perf.peak_fraction
+            row[kernel.name + " [PFLOP/s]"] = perf.gflops / 1e6
+        allp = overall_perf(racks, cluster)
+        row["ALL [%]"] = 100.0 * allp.peak_fraction
+        row["ALL [PFLOP/s]"] = allp.gflops / 1e6
+        rows.append(row)
+    return rows
+
+
+def table6(cluster: ClusterSpec = SEQUOIA) -> list[dict]:
+    """Paper Table 6: node-to-cluster degradation (1 node vs 1 rack)."""
+    rows = []
+    for scope in ("1 rack", "1 node"):
+        row = {"scope": scope}
+        for kernel in (RHS, DT, UP):
+            if scope == "1 node":
+                frac = node_perf(kernel, cluster.node).peak_fraction
+            else:
+                frac = cluster_perf(kernel, 1, cluster).peak_fraction
+            row[kernel.name + " [%]"] = 100.0 * frac
+        rows.append(row)
+    return rows
+
+
+def table9() -> dict:
+    """Paper Table 9: micro-fused vs baseline WENO kernel (modeled)."""
+    peak = BGQ_NODE.peak_per_core_gflops
+    baseline = peak * WENO_STAGE_BOUND * WENO_BASELINE_EFF
+    fused = peak * WENO_STAGE_BOUND * WENO_FUSED_EFF
+    gflops_gain = fused / baseline
+    time_gain = gflops_gain / (1.0 - WENO_FUSED_FLOP_REDUCTION)
+    return {
+        "baseline_gflops": baseline,
+        "fused_gflops": fused,
+        "baseline_peak_frac": baseline / peak,
+        "fused_peak_frac": fused / peak,
+        "gflops_improvement": gflops_gain,
+        "time_improvement": time_gain,
+    }
+
+
+def table10(machines=None) -> list[dict]:
+    """Paper Table 10: per-node performance on the CSCS platforms.
+
+    The ported software exploits only SSE width (``used_simd_width``), so
+    the RHS fraction is the issue bound x SIMD utilization.
+    """
+    from .machines import MONTE_ROSA_NODE, PIZ_DAINT_NODE
+
+    machines = machines or (PIZ_DAINT_NODE, MONTE_ROSA_NODE)
+    rows = []
+    for m in machines:
+        rhs_frac = rhs_issue_bound_fraction(m) * m.simd_utilization
+        rhs = rhs_frac * m.peak_gflops
+        dt = DT_PEAK_FRACTION_X86 * m.peak_gflops
+        up = min(
+            m.peak_gflops, traffic_for(UP).reordered_oi * m.dram_bw_gbs
+        ) * UP_STREAM_EFF
+        rows.append(
+            {
+                "machine": m.name,
+                "RHS [GFLOP/s]": rhs,
+                "RHS [%]": 100.0 * rhs / m.peak_gflops,
+                "DT [GFLOP/s]": dt,
+                "DT [%]": 100.0 * dt / m.peak_gflops,
+                "UP [GFLOP/s]": up,
+                "UP [%]": 100.0 * up / m.peak_gflops,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Throughput / time to solution (Section 7)
+# ---------------------------------------------------------------------------
+
+
+def step_time_per_cell(racks: int, cluster: ClusterSpec = SEQUOIA) -> float:
+    """Seconds one node spends per cell per step (all kernels)."""
+    t = 0.0
+    for kernel in (RHS, DT, UP):
+        rate = cluster_perf(kernel, racks, cluster).peak_fraction
+        t += kernel.flops_per_cell_step() / (rate * cluster.node.peak_gflops * 1e9)
+    return t
+
+
+def throughput_cells_per_second(racks: int, cluster: ClusterSpec = SEQUOIA) -> float:
+    """Aggregate grid-point throughput (paper: 721e9 on 96 racks)."""
+    nodes = cluster.nodes_per_rack * racks
+    return nodes / step_time_per_cell(racks, cluster)
+
+
+def time_per_step(total_cells: float, racks: int,
+                  cluster: ClusterSpec = SEQUOIA) -> float:
+    """Wall seconds per step (paper: 18.3 s for 13.2e12 cells, 96 racks)."""
+    return total_cells / throughput_cells_per_second(racks, cluster)

@@ -1,0 +1,133 @@
+"""The reproduction scorecard: every headline number, paper vs model.
+
+One function gathers the full set of published performance quantities and
+their model reproductions with relative deviations -- the quantitative
+summary behind EXPERIMENTS.md, computable in one call (and asserted as a
+whole by the test suite, so a regression in any model shows up as a
+scorecard failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .issue import rhs_issue_bound_fraction
+from .kernels import DT, RHS, UP
+from .machines import BGQ_NODE, SEQUOIA
+from .network import dump_analysis, overlap_analysis
+from .scaling import (
+    cluster_perf,
+    core_perf,
+    overall_perf,
+    table9,
+    table10,
+    throughput_cells_per_second,
+    time_per_step,
+)
+from .traffic import table3
+
+
+@dataclass(frozen=True)
+class ScorecardRow:
+    quantity: str
+    paper: float
+    model: float
+    unit: str = ""
+    #: acceptable relative deviation for this quantity
+    tolerance: float = 0.10
+
+    @property
+    def deviation(self) -> float:
+        if self.paper == 0:
+            return float("inf")
+        return (self.model - self.paper) / self.paper
+
+    @property
+    def within_tolerance(self) -> bool:
+        return abs(self.deviation) <= self.tolerance
+
+
+def reproduction_scorecard() -> list[ScorecardRow]:
+    """All headline quantities of the paper's evaluation."""
+    t3 = {e.kernel: e for e in table3()}
+    t10 = {r["machine"]: r for r in table10()}
+    t9 = table9()
+    rows = [
+        # Abstract / Section 8 headliners.
+        ScorecardRow("RHS PFLOP/s on 96 racks", 10.99,
+                     cluster_perf(RHS, 96).gflops / 1e6, "PFLOP/s", 0.05),
+        ScorecardRow("RHS fraction of peak, 96 racks", 55.0,
+                     100 * cluster_perf(RHS, 96).peak_fraction, "%", 0.05),
+        ScorecardRow("ALL PFLOP/s on 96 racks", 10.14,
+                     overall_perf(96).gflops / 1e6, "PFLOP/s", 0.10),
+        ScorecardRow("throughput", 721e9,
+                     throughput_cells_per_second(96), "cells/s", 0.05),
+        ScorecardRow("time per step (13.2e12 cells)", 18.3,
+                     time_per_step(13.2e12, 96), "s", 0.05),
+        # Table 3.
+        ScorecardRow("RHS OI naive", 1.4, t3["RHS"].naive_oi, "FLOP/B", 0.25),
+        ScorecardRow("RHS OI reordered", 21.0, t3["RHS"].reordered_oi,
+                     "FLOP/B", 0.15),
+        ScorecardRow("RHS reordering gain", 15.0, t3["RHS"].gain, "x", 0.15),
+        ScorecardRow("DT reordering gain", 3.9, t3["DT"].gain, "x", 0.10),
+        # Table 7.
+        ScorecardRow("RHS core QPX", 8.27, core_perf(RHS).gflops,
+                     "GFLOP/s", 0.03),
+        ScorecardRow("RHS core C++", 2.21,
+                     core_perf(RHS, vectorized=False).gflops, "GFLOP/s", 0.03),
+        ScorecardRow("DT core QPX", 1.96, core_perf(DT).gflops,
+                     "GFLOP/s", 0.03),
+        ScorecardRow("UP core QPX", 0.29, core_perf(UP).gflops,
+                     "GFLOP/s", 0.10),
+        # Table 8.
+        ScorecardRow("RHS issue bound", 76.0,
+                     100 * rhs_issue_bound_fraction(), "%", 0.02),
+        # Table 9.
+        ScorecardRow("WENO fusion rate gain", 1.2,
+                     t9["gflops_improvement"], "x", 0.05),
+        ScorecardRow("WENO fusion time gain", 1.3,
+                     t9["time_improvement"], "x", 0.05),
+        # Table 10.
+        ScorecardRow("Piz Daint RHS", 269.0,
+                     t10["Cray XC30 (Piz Daint)"]["RHS [GFLOP/s]"],
+                     "GFLOP/s", 0.08),
+        ScorecardRow("Monte Rosa RHS", 201.0,
+                     t10["Cray XE6 (Monte Rosa)"]["RHS [GFLOP/s]"],
+                     "GFLOP/s", 0.05),
+        # Ridge point (Section 4).
+        ScorecardRow("BQC ridge point", 7.3, BGQ_NODE.ridge_point,
+                     "FLOP/B", 0.02),
+        # Claims (Sections 5/6): bounds expressed as ratios to the claim.
+        ScorecardRow("compute/comm overlap ratio (>=10 claimed)", 10.0,
+                     min(overlap_analysis(512).ratio, 10.0), "x", 0.01),
+        ScorecardRow("dump fraction of runtime (<=1% claimed)", 0.01,
+                     max(dump_analysis().dump_fraction_of_runtime, 0.01),
+                     "", 0.01),
+        # State-of-the-art comparison (Section 7).
+        ScorecardRow("cores", 1.6e6, float(SEQUOIA.cores), "", 0.03),
+    ]
+    return rows
+
+
+def scorecard_ok() -> bool:
+    """True iff every scorecard row is within its tolerance."""
+    return all(r.within_tolerance for r in reproduction_scorecard())
+
+
+def format_scorecard() -> str:
+    """Human-readable scorecard table."""
+    from .report import format_table
+
+    rows = [
+        {
+            "quantity": r.quantity,
+            "paper": r.paper,
+            "model": r.model,
+            "unit": r.unit,
+            "dev [%]": 100 * r.deviation,
+            "ok": "yes" if r.within_tolerance else "NO",
+        }
+        for r in reproduction_scorecard()
+    ]
+    return format_table(rows, "Reproduction scorecard (paper vs model)",
+                        floatfmt="{:.4g}")

@@ -1,0 +1,177 @@
+"""Stiffened-gas equation of state and conserved/primitive conversions.
+
+The two-phase model of the paper closes the Euler system with a stiffened
+equation of state,
+
+    Gamma * p + Pi = E - rho * |u|^2 / 2,
+
+where ``Gamma = 1/(gamma - 1)`` and ``Pi = gamma * p_c / (gamma - 1)`` are
+advected with the flow (paper Eq. 2).  Both pure phases and their numerical
+mixtures are described by the pair ``(Gamma, Pi)``; this module provides
+
+* conversions between the material parameters ``(gamma, p_c)`` and the
+  advected pair ``(Gamma, Pi)``;
+* pressure / total energy / sound-speed evaluation;
+* the CONV and BACK stages of the RHS pipeline (conserved -> primitive and
+  primitive -> conserved conversions on SoA data).
+
+All functions are NumPy-vectorized and dtype-preserving; kernels call them
+on float64 working arrays (mixed-precision scheme of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .state import ENERGY, GAMMA, NQ, PI, RHO, RHOU, RHOV, RHOW
+
+#: Floor applied inside the sound-speed square root to guard against
+#: negative arguments produced by round-off near strong rarefactions.
+_SOUND_SPEED_FLOOR = 1.0e-12
+
+
+@dataclass(frozen=True)
+class Material:
+    """A pure phase described by the stiffened-gas parameters.
+
+    Parameters match the paper's Section 7 setup: ``gamma`` is the specific
+    heat ratio and ``pc`` the correction pressure of the phase.
+    """
+
+    name: str
+    gamma: float
+    pc: float
+    rho0: float = 1.0  #: reference density used by initial conditions
+    p0: float = 1.0  #: reference pressure used by initial conditions
+
+    @property
+    def G(self) -> float:
+        """Advected EOS coefficient ``Gamma = 1/(gamma - 1)``."""
+        return 1.0 / (self.gamma - 1.0)
+
+    @property
+    def P(self) -> float:
+        """Advected EOS coefficient ``Pi = gamma * pc / (gamma - 1)``."""
+        return self.gamma * self.pc / (self.gamma - 1.0)
+
+
+# Paper Section 7 material properties (pressures in bar, densities in kg/m^3,
+# matching the production simulations of cloud cavitation collapse).
+VAPOR = Material(name="vapor", gamma=1.4, pc=1.0, rho0=1.0, p0=0.0234)
+LIQUID = Material(name="liquid", gamma=6.59, pc=4096.0, rho0=1000.0, p0=100.0)
+
+
+def G_from_gamma(gamma):
+    """``Gamma = 1/(gamma - 1)`` (vectorized)."""
+    return 1.0 / (np.asarray(gamma) - 1.0)
+
+
+def P_from_gamma_pc(gamma, pc):
+    """``Pi = gamma * pc / (gamma - 1)`` (vectorized)."""
+    gamma = np.asarray(gamma)
+    return gamma * np.asarray(pc) / (gamma - 1.0)
+
+
+def gamma_from_G(G):
+    """Inverse map ``gamma = 1 + 1/Gamma``."""
+    return 1.0 + 1.0 / np.asarray(G)
+
+
+def pc_from_G_P(G, P):
+    """Inverse map ``p_c = Pi / (Gamma + 1)``.
+
+    From ``Pi = gamma*pc*Gamma`` with ``gamma = (Gamma+1)/Gamma`` it follows
+    that ``Pi = (Gamma + 1) * pc``.
+    """
+    return np.asarray(P) / (np.asarray(G) + 1.0)
+
+
+def pressure(rho, rhou, rhov, rhow, E, G, P):
+    """Pressure from conserved quantities and advected EOS coefficients.
+
+    Inverts the stiffened EOS ``Gamma*p + Pi = E - rho|u|^2/2``.
+    """
+    ke = 0.5 * (rhou * rhou + rhov * rhov + rhow * rhow) / rho
+    return (E - ke - P) / G
+
+
+def total_energy(rho, u, v, w, p, G, P):
+    """Total energy per unit volume from primitive quantities."""
+    ke = 0.5 * rho * (u * u + v * v + w * w)
+    return G * p + P + ke
+
+
+def sound_speed(rho, p, G, P):
+    """Speed of sound of the stiffened gas.
+
+    With ``gamma = (Gamma+1)/Gamma`` and ``gamma*p_c = Pi/Gamma``,
+
+        c^2 = gamma * (p + p_c) / rho = ((Gamma + 1) * p + Pi) / (Gamma * rho).
+    """
+    c2 = ((G + 1.0) * p + P) / (G * rho)
+    return np.sqrt(np.maximum(c2, _SOUND_SPEED_FLOOR))
+
+
+def max_characteristic_velocity(W: np.ndarray) -> float:
+    """Maximum of ``|u_i| + c`` over an SoA primitive array ``(NQ, ...)``.
+
+    This is the quantity globally reduced by the DT kernel (paper Fig. 1) to
+    determine the CFL-limited time step.
+    """
+    rho, u, v, w, p, G, P = (W[i] for i in range(NQ))
+    c = sound_speed(rho, p, G, P)
+    speed = np.maximum(np.abs(u), np.maximum(np.abs(v), np.abs(w))) + c
+    return float(speed.max())
+
+
+def conserved_to_primitive(U: np.ndarray) -> np.ndarray:
+    """CONV stage: convert SoA conserved data ``(NQ, ...)`` to primitives.
+
+    Output layout (same shape): ``rho, u, v, w, p, Gamma, Pi``.  The paper
+    performs the spatial reconstruction on primitive quantities to avoid
+    spurious pressure/velocity oscillations at material interfaces
+    (Abgrall & Karni; Johnsen & Colonius).
+    """
+    W = np.empty_like(U)
+    rho = U[RHO]
+    inv_rho = 1.0 / rho
+    W[RHO] = rho
+    W[RHOU] = U[RHOU] * inv_rho
+    W[RHOV] = U[RHOV] * inv_rho
+    W[RHOW] = U[RHOW] * inv_rho
+    W[ENERGY] = pressure(rho, U[RHOU], U[RHOV], U[RHOW], U[ENERGY], U[GAMMA], U[PI])
+    W[GAMMA] = U[GAMMA]
+    W[PI] = U[PI]
+    return W
+
+
+def primitive_to_conserved(W: np.ndarray) -> np.ndarray:
+    """BACK stage: convert SoA primitive data ``(NQ, ...)`` to conserved."""
+    U = np.empty_like(W)
+    rho = W[RHO]
+    u, v, w = W[RHOU], W[RHOV], W[RHOW]
+    p = W[ENERGY]
+    U[RHO] = rho
+    U[RHOU] = rho * u
+    U[RHOV] = rho * v
+    U[RHOW] = rho * w
+    U[ENERGY] = total_energy(rho, u, v, w, p, W[GAMMA], W[PI])
+    U[GAMMA] = W[GAMMA]
+    U[PI] = W[PI]
+    return U
+
+
+def mixture(material_a: Material, material_b: Material, alpha):
+    """Volume-fraction mixture of two phases in ``(Gamma, Pi)`` space.
+
+    ``alpha`` is the volume fraction of ``material_a``.  ``Gamma`` and ``Pi``
+    mix linearly (which is exactly why they are the advected quantities:
+    linear mixing keeps interface capturing free of pressure oscillations).
+    Returns ``(G, P)`` arrays broadcast against ``alpha``.
+    """
+    alpha = np.asarray(alpha)
+    G = alpha * material_a.G + (1.0 - alpha) * material_b.G
+    P = alpha * material_a.P + (1.0 - alpha) * material_b.P
+    return G, P

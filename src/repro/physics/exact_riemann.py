@@ -1,0 +1,205 @@
+"""Exact Riemann solver for the stiffened-gas Euler equations.
+
+Validation baseline for the HLLE/WENO solver: the classical
+Godunov/Toro exact solver, generalized to the stiffened EOS
+``p = (gamma - 1) rho e - gamma p_c``.  A stiffened gas behaves like an
+ideal gas in the shifted pressure ``q = p + p_c`` (sound speed
+``c^2 = gamma q / rho``), so the ideal-gas shock and rarefaction
+relations hold per side with ``p -> p + p_c`` -- including two-phase
+problems where ``gamma`` and ``p_c`` differ across the contact.
+
+Used by the integration tests (Sod-type tubes, strong shocks) and by the
+shock-tube example to plot numerical vs exact profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RiemannSide:
+    """One initial state of the Riemann problem."""
+
+    rho: float
+    u: float  #: velocity normal to the interface
+    p: float
+    gamma: float = 1.4
+    pc: float = 0.0
+
+    @property
+    def q(self) -> float:
+        """Shifted pressure ``p + p_c``."""
+        return self.p + self.pc
+
+    @property
+    def c(self) -> float:
+        """Sound speed ``sqrt(gamma (p + p_c) / rho)``."""
+        return float(np.sqrt(self.gamma * self.q / self.rho))
+
+
+@dataclass(frozen=True)
+class RiemannSolution:
+    """Star-region state plus the input sides (for sampling)."""
+
+    left: RiemannSide
+    right: RiemannSide
+    p_star: float
+    u_star: float
+    rho_star_l: float
+    rho_star_r: float
+
+    def wave_speeds(self) -> dict:
+        """Characteristic speeds of the five-wave structure."""
+        L, R = self.left, self.right
+        out = {}
+        qsl = self.p_star + L.pc
+        if self.p_star > L.p:  # left shock
+            g = L.gamma
+            out["left_head"] = out["left_tail"] = L.u - L.c * np.sqrt(
+                (g + 1) / (2 * g) * qsl / L.q + (g - 1) / (2 * g)
+            )
+        else:  # left rarefaction
+            c_star = L.c * (qsl / L.q) ** ((L.gamma - 1) / (2 * L.gamma))
+            out["left_head"] = L.u - L.c
+            out["left_tail"] = self.u_star - c_star
+        out["contact"] = self.u_star
+        qsr = self.p_star + R.pc
+        if self.p_star > R.p:  # right shock
+            g = R.gamma
+            out["right_tail"] = out["right_head"] = R.u + R.c * np.sqrt(
+                (g + 1) / (2 * g) * qsr / R.q + (g - 1) / (2 * g)
+            )
+        else:
+            c_star = R.c * (qsr / R.q) ** ((R.gamma - 1) / (2 * R.gamma))
+            out["right_tail"] = self.u_star + c_star
+            out["right_head"] = R.u + R.c
+        return out
+
+
+def _f_side(p: float, s: RiemannSide) -> tuple[float, float]:
+    """Toro's f(p) and f'(p) for one side, in shifted pressure."""
+    g = s.gamma
+    q = p + s.pc
+    if q <= 0:
+        # Outside the physical domain; steer Newton back.
+        return -1e30, 1e30
+    if p > s.p:  # shock
+        A = 2.0 / ((g + 1.0) * s.rho)
+        B = (g - 1.0) / (g + 1.0) * s.q
+        root = np.sqrt(A / (q + B))
+        f = (p - s.p) * root
+        df = root * (1.0 - 0.5 * (p - s.p) / (q + B))
+    else:  # rarefaction
+        f = (
+            2.0 * s.c / (g - 1.0)
+            * ((q / s.q) ** ((g - 1.0) / (2.0 * g)) - 1.0)
+        )
+        df = 1.0 / (s.rho * s.c) * (q / s.q) ** (-(g + 1.0) / (2.0 * g))
+    return float(f), float(df)
+
+
+def solve(left: RiemannSide, right: RiemannSide,
+          tol: float = 1e-12, max_iter: int = 200) -> RiemannSolution:
+    """Solve for the star region (Newton iteration on p*)."""
+    du = right.u - left.u
+    # Initial guess: PVRS (acoustic) estimate, clipped positive.
+    p0 = 0.5 * (left.p + right.p) - 0.125 * du * (left.rho + right.rho) * (
+        left.c + right.c
+    )
+    floor = 1e-10 * max(left.q, right.q) - min(left.pc, right.pc)
+    p = max(p0, floor + 1e-14)
+    for _ in range(max_iter):
+        fl, dfl = _f_side(p, left)
+        fr, dfr = _f_side(p, right)
+        f = fl + fr + du
+        df = dfl + dfr
+        step = f / df
+        p_new = p - step
+        if p_new + min(left.pc, right.pc) <= 0:
+            p_new = 0.5 * (p + floor)
+        if abs(p_new - p) <= tol * max(abs(p_new), 1.0):
+            p = p_new
+            break
+        p = p_new
+    fl, _ = _f_side(p, left)
+    fr, _ = _f_side(p, right)
+    u_star = 0.5 * (left.u + right.u) + 0.5 * (fr - fl)
+
+    def rho_star(s: RiemannSide) -> float:
+        g = s.gamma
+        q = p + s.pc
+        if p > s.p:  # shock: Rankine-Hugoniot
+            r = (q / s.q + (g - 1.0) / (g + 1.0)) / (
+                (g - 1.0) / (g + 1.0) * q / s.q + 1.0
+            )
+            return s.rho * r
+        return s.rho * (q / s.q) ** (1.0 / g)  # isentropic
+
+    return RiemannSolution(
+        left=left, right=right, p_star=float(p), u_star=float(u_star),
+        rho_star_l=rho_star(left), rho_star_r=rho_star(right),
+    )
+
+
+def sample(sol: RiemannSolution, xi):
+    """Sample the self-similar solution at ``xi = x / t``.
+
+    Returns ``(rho, u, p)`` arrays broadcast over ``xi``.
+    """
+    xi = np.asarray(xi, dtype=np.float64)
+    rho = np.empty_like(xi)
+    u = np.empty_like(xi)
+    p = np.empty_like(xi)
+    L, R = sol.left, sol.right
+    ws = sol.wave_speeds()
+
+    # Left of contact.
+    left_region = xi <= ws["contact"]
+    if sol.p_star > L.p:  # left shock
+        s = ws["left_head"]
+        pre = left_region & (xi < s)
+        post = left_region & (xi >= s)
+        rho[pre], u[pre], p[pre] = L.rho, L.u, L.p
+        rho[post], u[post], p[post] = sol.rho_star_l, sol.u_star, sol.p_star
+    else:  # left rarefaction fan
+        head, tail = ws["left_head"], ws["left_tail"]
+        pre = left_region & (xi < head)
+        fan = left_region & (xi >= head) & (xi < tail)
+        star = left_region & (xi >= tail)
+        rho[pre], u[pre], p[pre] = L.rho, L.u, L.p
+        g = L.gamma
+        cf = 2.0 / (g + 1.0) * (L.c + 0.5 * (g - 1.0) * (L.u - xi[fan]))
+        uf = 2.0 / (g + 1.0) * (0.5 * (g - 1.0) * L.u + L.c + xi[fan])
+        qf = L.q * (cf / L.c) ** (2.0 * g / (g - 1.0))
+        rho[fan] = g * qf / cf**2
+        u[fan] = uf
+        p[fan] = qf - L.pc
+        rho[star], u[star], p[star] = sol.rho_star_l, sol.u_star, sol.p_star
+
+    # Right of contact.
+    right_region = ~left_region
+    if sol.p_star > R.p:  # right shock
+        s = ws["right_head"]
+        post = right_region & (xi <= s)
+        pre = right_region & (xi > s)
+        rho[pre], u[pre], p[pre] = R.rho, R.u, R.p
+        rho[post], u[post], p[post] = sol.rho_star_r, sol.u_star, sol.p_star
+    else:
+        head, tail = ws["right_head"], ws["right_tail"]
+        pre = right_region & (xi > head)
+        fan = right_region & (xi <= head) & (xi > tail)
+        star = right_region & (xi <= tail)
+        rho[pre], u[pre], p[pre] = R.rho, R.u, R.p
+        g = R.gamma
+        cf = 2.0 / (g + 1.0) * (R.c - 0.5 * (g - 1.0) * (R.u - xi[fan]))
+        uf = 2.0 / (g + 1.0) * (0.5 * (g - 1.0) * R.u - R.c + xi[fan])
+        qf = R.q * (cf / R.c) ** (2.0 * g / (g - 1.0))
+        rho[fan] = g * qf / cf**2
+        u[fan] = uf
+        p[fan] = qf - R.pc
+        rho[star], u[star], p[star] = sol.rho_star_r, sol.u_star, sol.p_star
+
+    return rho, u, p

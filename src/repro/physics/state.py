@@ -1,0 +1,81 @@
+"""Flow-state layout shared by every layer of the solver.
+
+The solver evolves seven cell-averaged quantities per computational element,
+mirroring CUBISM-MPCF's element layout (SC13 paper, Section 3):
+
+========  =========  =====================================================
+index     symbol     meaning
+========  =========  =====================================================
+``RHO``   rho        density
+``RHOU``  rho*u      x-momentum
+``RHOV``  rho*v      y-momentum
+``RHOW``  rho*w      z-momentum
+``ENERGY``  E        total energy per unit volume
+``GAMMA``   Gamma    stiffened-gas EOS parameter 1/(gamma - 1)
+``PI``      Pi       stiffened-gas EOS parameter gamma*p_c/(gamma - 1)
+========  =========  =====================================================
+
+``GAMMA`` and ``PI`` obey pure advection (paper Eq. 2) and close the Euler
+system through the stiffened equation of state ``Gamma*p + Pi = E -
+rho*|u|^2/2``.
+
+Arrays are stored in AoS order ``(..., NQ)`` inside blocks (channel-last,
+matching the paper's array-of-structures block layout, Fig. 2) and converted
+to SoA slices (channel-first) by the core-layer kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Number of evolved flow quantities per cell.
+NQ = 7
+
+RHO = 0
+RHOU = 1
+RHOV = 2
+RHOW = 3
+ENERGY = 4
+GAMMA = 5
+PI = 6
+
+#: Conserved quantities in Eq. (1) of the paper (mass, momentum, energy).
+CONSERVED = (RHO, RHOU, RHOV, RHOW, ENERGY)
+#: Advected EOS quantities in Eq. (2) of the paper.
+ADVECTED = (GAMMA, PI)
+
+#: Human-readable names, indexable by quantity id.
+NAMES = ("rho", "rhou", "rhov", "rhow", "E", "Gamma", "Pi")
+
+#: Storage dtype of the computational elements (paper Section 7: mixed
+#: precision -- single precision for memory representation).
+STORAGE_DTYPE = np.float32
+#: Compute dtype of the kernels (double precision computation).
+COMPUTE_DTYPE = np.float64
+
+
+def zeros_aos(shape: tuple[int, ...], dtype=STORAGE_DTYPE) -> np.ndarray:
+    """Allocate a zero-filled AoS state array of spatial ``shape``.
+
+    The returned array has shape ``shape + (NQ,)``.
+    """
+    return np.zeros(tuple(shape) + (NQ,), dtype=dtype)
+
+
+def aos_to_soa(aos: np.ndarray, dtype=COMPUTE_DTYPE) -> np.ndarray:
+    """Convert an AoS array ``(..., NQ)`` to an SoA array ``(NQ, ...)``.
+
+    This is the core layer's AoS/SoA conversion (paper Fig. 2, right): the
+    SoA output is contiguous per quantity, which is what makes the compute
+    kernels vectorizable.
+    """
+    if aos.shape[-1] != NQ:
+        raise ValueError(f"expected trailing axis of size {NQ}, got {aos.shape}")
+    return np.ascontiguousarray(np.moveaxis(aos, -1, 0), dtype=dtype)
+
+
+def soa_to_aos(soa: np.ndarray, dtype=STORAGE_DTYPE) -> np.ndarray:
+    """Convert an SoA array ``(NQ, ...)`` back to AoS ``(..., NQ)``."""
+    if soa.shape[0] != NQ:
+        raise ValueError(f"expected leading axis of size {NQ}, got {soa.shape}")
+    return np.ascontiguousarray(np.moveaxis(soa, 0, -1), dtype=dtype)

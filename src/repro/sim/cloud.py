@@ -1,0 +1,184 @@
+"""Bubble cloud generation (paper Section 7).
+
+"We initialize the simulation with spherical bubbles modeling the state of
+the cloud right before the beginning of collapse.  Radii of the bubbles
+are sampled from a lognormal distribution corresponding to a range of
+50-200 microns."
+
+:func:`generate_cloud` samples lognormal radii clipped to a range and
+packs non-overlapping spheres into a spherical cloud region by rejection
+sampling (deterministic given the seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Bubble:
+    """A spherical vapor bubble."""
+
+    center: tuple[float, float, float]  #: (z, y, x)
+    radius: float
+
+    def overlaps(self, other: "Bubble", gap: float = 0.0) -> bool:
+        d2 = sum((a - b) ** 2 for a, b in zip(self.center, other.center))
+        r = self.radius + other.radius + gap
+        return d2 < r * r
+
+    def contains(self, z, y, x):
+        """Vectorized point-in-bubble test."""
+        d2 = (
+            (z - self.center[0]) ** 2
+            + (y - self.center[1]) ** 2
+            + (x - self.center[2]) ** 2
+        )
+        return d2 <= self.radius**2
+
+    @property
+    def volume(self) -> float:
+        return 4.0 / 3.0 * np.pi * self.radius**3
+
+
+def sample_radii(
+    n: int,
+    rng: np.random.Generator,
+    r_min: float = 50e-6,
+    r_max: float = 200e-6,
+    sigma: float = 0.4,
+) -> np.ndarray:
+    """Lognormal bubble radii clipped to ``[r_min, r_max]``.
+
+    The lognormal median is placed at the geometric mean of the range
+    (paper: lognormal distribution over 50-200 microns, Hansson et al.).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if not 0 < r_min <= r_max:
+        raise ValueError("need 0 < r_min <= r_max")
+    mu = np.log(np.sqrt(r_min * r_max))
+    radii = rng.lognormal(mean=mu, sigma=sigma, size=n)
+    return np.clip(radii, r_min, r_max)
+
+
+def generate_cloud(
+    n_bubbles: int,
+    cloud_center: tuple[float, float, float],
+    cloud_radius: float,
+    rng: np.random.Generator | int | None = None,
+    r_min: float = 50e-6,
+    r_max: float = 200e-6,
+    sigma: float = 0.4,
+    min_gap_factor: float = 0.1,
+    max_attempts_per_bubble: int = 2000,
+) -> list[Bubble]:
+    """Pack ``n_bubbles`` non-overlapping bubbles inside a spherical cloud.
+
+    Rejection sampling: bubbles are placed largest-first (easier packing)
+    with a minimum surface gap of ``min_gap_factor`` times the smaller
+    radius.  Raises if the requested count cannot be packed -- the caller
+    should grow the cloud or shrink the population.
+    """
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+    radii = np.sort(sample_radii(n_bubbles, rng, r_min, r_max, sigma))[::-1]
+    bubbles: list[Bubble] = []
+    for i, r in enumerate(radii):
+        placed = False
+        for _ in range(max_attempts_per_bubble):
+            # Uniform point in the sphere of radius (cloud_radius - r).
+            direction = rng.normal(size=3)
+            direction /= np.linalg.norm(direction)
+            rad = (cloud_radius - r) * rng.random() ** (1.0 / 3.0)
+            center = tuple(c + rad * d for c, d in zip(cloud_center, direction))
+            cand = Bubble(center=center, radius=float(r))
+            gap = min_gap_factor * r
+            if all(not cand.overlaps(b, gap) for b in bubbles):
+                bubbles.append(cand)
+                placed = True
+                break
+        if not placed:
+            raise RuntimeError(
+                f"could not place bubble {i + 1}/{n_bubbles} "
+                f"(r={r:.3g}) in cloud of radius {cloud_radius:.3g}; "
+                "reduce the count or enlarge the cloud"
+            )
+    return bubbles
+
+
+def tiled_cloud(
+    units: tuple[int, int, int],
+    bubbles_per_unit: int,
+    rng: np.random.Generator | int | None = None,
+    unit_extent: float = 1.0,
+    cloud_radius_fraction: float = 0.38,
+    r_min: float = 0.07,
+    r_max: float = 0.11,
+) -> list[Bubble]:
+    """Assemble a large cloud by tiling simulation units (paper Section 7).
+
+    "The target physical system is assembled by piecing together the
+    simulation units and keeping the same spatial resolution ...  Every
+    simulation unit is a cube of 1024^3 grid cells and contains 50-100
+    bubbles."  Each unit gets an independently packed sub-cloud (seeded
+    deterministically per unit), translated to its tile position; radii
+    and resolution are shared, so a ``(2, 1, 1)``-unit system doubles the
+    domain without changing the per-unit physics.
+
+    Returns the combined bubble list; the caller sizes the grid as
+    ``cells_per_unit * units`` per axis.
+    """
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        base_seed = int(rng) if rng is not None else 0
+    else:
+        base_seed = int(rng.integers(0, 2**31))
+    bubbles: list[Bubble] = []
+    for uz in range(units[0]):
+        for uy in range(units[1]):
+            for ux in range(units[2]):
+                seed = base_seed + ((uz * 1009 + uy) * 1013 + ux)
+                unit = generate_cloud(
+                    bubbles_per_unit,
+                    cloud_center=(0.5 * unit_extent,) * 3,
+                    cloud_radius=cloud_radius_fraction * unit_extent,
+                    rng=seed,
+                    r_min=r_min,
+                    r_max=r_max,
+                )
+                offset = (
+                    uz * unit_extent, uy * unit_extent, ux * unit_extent
+                )
+                bubbles.extend(
+                    Bubble(
+                        center=tuple(c + o for c, o in zip(b.center, offset)),
+                        radius=b.radius,
+                    )
+                    for b in unit
+                )
+    return bubbles
+
+
+def cloud_vapor_volume(bubbles: list[Bubble]) -> float:
+    """Total vapor volume of the cloud."""
+    return float(sum(b.volume for b in bubbles))
+
+
+def equivalent_radius(vapor_volume: float) -> float:
+    """Equivalent cloud radius ``(3 V / 4 pi)^(1/3)`` (paper Fig. 5)."""
+    return float((3.0 * vapor_volume / (4.0 * np.pi)) ** (1.0 / 3.0))
+
+
+def cloud_interaction_parameter(bubbles: list[Bubble], cloud_radius: float) -> float:
+    """Cloud interaction parameter ``beta = alpha^(2/3) * (R_c / <R>)^2``.
+
+    A standard measure of collective-collapse strength (the larger, the
+    stronger the bubble-bubble interaction during collapse).
+    """
+    if not bubbles:
+        return 0.0
+    alpha = cloud_vapor_volume(bubbles) / (4.0 / 3.0 * np.pi * cloud_radius**3)
+    mean_r = float(np.mean([b.radius for b in bubbles]))
+    return float(alpha ** (2.0 / 3.0) * (cloud_radius / mean_r) ** 2)

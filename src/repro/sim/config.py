@@ -1,0 +1,101 @@
+"""Simulation configuration (the public entry point's parameter object)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..node.ghosts import BoundarySpec
+
+
+@dataclass
+class SimulationConfig:
+    """Parameters of a cloud-cavitation-collapse (or related) run.
+
+    Defaults follow the paper's production setup scaled to laptop size:
+    CFL 0.3, third-order low-storage RK, WENO5/HLLE kernels, mixed
+    precision, compressed dumps of p and Gamma.
+    """
+
+    # -- discretization ------------------------------------------------
+    #: global cells: an int for a cubic domain or a (nz, ny, nx) triple.
+    cells: int | tuple[int, int, int] = 64
+    block_size: int = 16  #: cells per block edge (paper: 32)
+    #: physical length of the x edge; spacing is uniform in all directions.
+    extent: float = 1.0
+
+    # -- numerics ---------------------------------------------------------
+    cfl: float = 0.3  #: paper Section 7
+    stepper: str = "rk3"  #: "rk3" (production) or "euler" (ablation)
+    fused_weno: bool = False  #: micro-fused WENO kernel (Table 9)
+    use_slices: bool = False  #: ring-buffer streaming RHS
+    weno_order: int = 5  #: spatial order: 5 (production) or 3 (ablation)
+    riemann_solver: str = "hlle"  #: "hlle" (paper) or "hllc"
+
+    # -- parallelization ---------------------------------------------------
+    ranks: int = 1  #: simulated MPI ranks
+    num_workers: int = 4  #: threads per rank (dispatch simulation)
+    periodic: tuple[bool, bool, bool] = (False, False, False)
+
+    # -- boundaries ----------------------------------------------------------
+    wall: tuple[int, int] | None = None  #: (axis, side) of a solid wall
+    boundary_default: str = "extrapolate"
+    #: optional erosion model accumulated on the wall (requires ``wall``);
+    #: an :class:`repro.sim.erosion.ErosionModel` instance.
+    erosion: object | None = None
+
+    # -- termination --------------------------------------------------------
+    max_steps: int = 100
+    t_end: float = float("inf")
+
+    # -- diagnostics & I/O --------------------------------------------------
+    diag_interval: int = 1  #: steps between diagnostic records
+    dump_interval: int = 0  #: steps between compressed dumps (0 = never)
+    dump_dir: str = "."  #: directory of dump files
+    eps_pressure: float = 1e-2  #: decimation threshold for p (paper)
+    eps_gamma: float = 1e-3  #: decimation threshold for Gamma (paper)
+    dump_guaranteed: bool = False  #: strict L-inf bound vs paper thresholds
+    collect_final_field: bool = True  #: return the assembled final field
+    checkpoint_interval: int = 0  #: steps between checkpoints (0 = never)
+    checkpoint_dir: str = "."
+
+    def __post_init__(self):
+        if isinstance(self.cells, int):
+            self.cells = (self.cells, self.cells, self.cells)
+        else:
+            self.cells = tuple(int(c) for c in self.cells)
+        for c in self.cells:
+            if c % self.block_size:
+                raise ValueError(
+                    f"cells={self.cells} not divisible by "
+                    f"block_size={self.block_size}"
+                )
+        if self.block_size < 6:
+            raise ValueError("block_size must be at least 6 (WENO ghosts)")
+        if self.cfl <= 0 or self.cfl > 1:
+            raise ValueError("cfl must be in (0, 1]")
+        if self.ranks < 1:
+            raise ValueError("ranks must be >= 1")
+        if self.erosion is not None and self.wall is None:
+            raise ValueError("erosion accumulation requires a wall")
+
+    @property
+    def h(self) -> float:
+        """Uniform grid spacing (set by the x extent)."""
+        return self.extent / self.cells[2]
+
+    @property
+    def global_blocks(self) -> tuple[int, int, int]:
+        return tuple(c // self.block_size for c in self.cells)
+
+    def boundary_spec(self) -> BoundarySpec:
+        """Node-layer boundary specification implied by this config.
+
+        Periodicity is *not* expressed here: the cluster topology resolves
+        periodic faces through the halo exchange (even on a single rank,
+        which then exchanges with itself), so the node layer only ever
+        applies physical boundary conditions at true domain faces.
+        """
+        faces = {}
+        if self.wall is not None:
+            faces[self.wall] = "reflect"
+        return BoundarySpec(default=self.boundary_default, faces=faces)

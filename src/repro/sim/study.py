@@ -1,0 +1,154 @@
+"""Parameter-study harness: cloud strength vs wall-pressure amplification.
+
+The paper closes its physics discussion with: "we consider that this
+pressure is correlated with the volume fraction of the bubbles, a subject
+of our ongoing investigations" (Section 7).  This module implements that
+investigation as a reusable sweep harness: it varies the cloud's vapor
+volume fraction (equivalently the interaction parameter beta) at a fixed
+grid and driving pressure, runs each configuration through the full
+solver stack, and reports the peak wall/flow pressure amplification per
+configuration.
+
+The harness is generic: any scalar configuration knob can be swept via
+``make_config`` / ``make_ic`` callables, and results serialize to CSV for
+external analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cloud import cloud_interaction_parameter, generate_cloud
+from .config import SimulationConfig
+from .ic import cloud_collapse
+
+# NOTE: repro.cluster.driver is imported lazily inside run_sweep -- the
+# driver itself imports repro.sim.config, so a module-level import here
+# would be circular.
+
+
+@dataclass
+class SweepPoint:
+    """One configuration's outcome."""
+
+    label: str
+    parameters: dict
+    peak_flow_pressure: float
+    peak_wall_pressure: float
+    ke_peak: float
+    ke_peak_time: float
+    vapor_collapse_fraction: float  #: 1 - V_min / V_0
+    steps: int
+
+    def amplification(self, p_ambient: float) -> float:
+        return self.peak_wall_pressure / p_ambient
+
+
+@dataclass
+class SweepResult:
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def to_csv(self) -> str:
+        """Serialize the sweep (flat columns; parameters prefixed)."""
+        if not self.points:
+            return ""
+        param_keys = sorted(
+            {k for p in self.points for k in p.parameters}
+        )
+        cols = ["label", *[f"param_{k}" for k in param_keys],
+                "peak_flow_pressure", "peak_wall_pressure", "ke_peak",
+                "ke_peak_time", "vapor_collapse_fraction", "steps"]
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(cols)
+        for p in self.points:
+            writer.writerow(
+                [p.label]
+                + [p.parameters.get(k, "") for k in param_keys]
+                + [p.peak_flow_pressure, p.peak_wall_pressure, p.ke_peak,
+                   p.ke_peak_time, p.vapor_collapse_fraction, p.steps]
+            )
+        return buf.getvalue()
+
+
+def _summarize(label: str, params: dict, result) -> SweepPoint:
+    maxp = result.series("max_pressure")
+    wallp = result.series("wall_max_pressure")
+    ke = result.series("kinetic_energy")
+    vv = result.series("vapor_volume")
+    i_ke = int(np.argmax(ke)) if ke.size else 0
+    return SweepPoint(
+        label=label,
+        parameters=params,
+        peak_flow_pressure=float(maxp.max()) if maxp.size else float("nan"),
+        peak_wall_pressure=float(wallp.max()) if wallp.size else float("nan"),
+        ke_peak=float(ke.max()) if ke.size else 0.0,
+        ke_peak_time=float(result.times[i_ke]) if ke.size else 0.0,
+        vapor_collapse_fraction=(
+            float(1.0 - vv.min() / vv[0]) if vv.size and vv[0] > 0 else 0.0
+        ),
+        steps=len(result.records),
+    )
+
+
+def run_sweep(configs: list[tuple[str, dict, SimulationConfig, object]]) -> SweepResult:
+    """Run labeled ``(label, params, config, ic_fn)`` configurations."""
+    from ..cluster.driver import Simulation
+
+    out = SweepResult()
+    for label, params, config, ic_fn in configs:
+        result = Simulation(config, ic_fn).run()
+        out.points.append(_summarize(label, params, result))
+    return out
+
+
+def cloud_fraction_sweep(
+    bubble_counts=(1, 2, 4, 6),
+    cells: int = 24,
+    p_liquid: float = 1000.0,
+    t_end_factor: float = 1.6,
+    seed: int = 2013,
+) -> SweepResult:
+    """The paper's conjecture as a sweep: wall pressure vs vapor fraction.
+
+    Packs clouds of increasing bubble count (hence vapor volume fraction
+    and interaction parameter beta) into the same region near a solid
+    wall and measures the wall-pressure amplification of each collapse.
+    """
+    from ..physics.rayleigh import rayleigh_collapse_time
+
+    configs = []
+    for n_bubbles in bubble_counts:
+        bubbles = generate_cloud(
+            n_bubbles, (0.55, 0.5, 0.5), 0.33, rng=seed,
+            r_min=0.07, r_max=0.10,
+        )
+        beta = cloud_interaction_parameter(bubbles, 0.33)
+        alpha = sum(b.volume for b in bubbles) / (4 / 3 * np.pi * 0.33**3)
+        tau = rayleigh_collapse_time(
+            max(b.radius for b in bubbles), 1000.0, p_liquid
+        )
+        config = SimulationConfig(
+            cells=cells,
+            block_size=8,
+            max_steps=400,
+            t_end=t_end_factor * tau,
+            wall=(0, -1),
+            diag_interval=1,
+        )
+        ic = cloud_collapse(bubbles, p_liquid=p_liquid,
+                            smoothing=config.h)
+        configs.append(
+            (
+                f"{n_bubbles} bubbles",
+                {"n_bubbles": n_bubbles, "beta": round(beta, 2),
+                 "vapor_fraction": round(alpha, 4)},
+                config,
+                ic,
+            )
+        )
+    return run_sweep(configs)

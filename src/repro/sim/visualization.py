@@ -1,0 +1,144 @@
+"""Field visualization artifacts (paper Figs. 4, 6, 8).
+
+The paper renders bubble interfaces (white isosurfaces) and pressure
+volumes (translucent blue to red).  This module produces the equivalent
+headless artifacts for a terminal/CI workflow:
+
+* ASCII renderings of field slices (quick inspection in examples);
+* portable graymap (PGM) images of slices -- viewable anywhere, no
+  dependencies;
+* interface statistics: isosurface cell counts, per-bubble extents and
+  sphericity (the "asymmetric deformations of the bubbles" of Fig. 4 in
+  number form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .diagnostics import pressure_field, vapor_fraction_field
+
+#: Default ASCII luminance ramp, dark to bright.
+ASCII_RAMP = " .:-=+*#%@"
+
+
+def field_slice(field_aos: np.ndarray, axis: int = 0, index: int | None = None,
+                quantity: str = "p") -> np.ndarray:
+    """Extract a 2D slice of a derived scalar from an AoS field.
+
+    ``quantity``: ``"p"`` (pressure), ``"alpha"`` (vapor fraction),
+    ``"rho"`` (density).
+    """
+    if quantity == "p":
+        scalar = pressure_field(field_aos)
+    elif quantity == "alpha":
+        scalar = vapor_fraction_field(field_aos)
+    elif quantity == "rho":
+        scalar = field_aos[..., 0].astype(np.float64)
+    else:
+        raise ValueError(f"unknown quantity {quantity!r}")
+    if index is None:
+        index = scalar.shape[axis] // 2
+    return np.take(scalar, index, axis=axis)
+
+
+def ascii_render(data2d: np.ndarray, ramp: str = ASCII_RAMP,
+                 vmin: float | None = None, vmax: float | None = None) -> str:
+    """Render a 2D array as ASCII art (rows = first axis)."""
+    data = np.asarray(data2d, dtype=np.float64)
+    lo = data.min() if vmin is None else vmin
+    hi = data.max() if vmax is None else vmax
+    span = hi - lo if hi > lo else 1.0
+    levels = np.clip(((data - lo) / span) * (len(ramp) - 1), 0,
+                     len(ramp) - 1).astype(int)
+    return "\n".join("".join(ramp[v] for v in row) for row in levels)
+
+
+def save_pgm(path: str, data2d: np.ndarray,
+             vmin: float | None = None, vmax: float | None = None) -> str:
+    """Write a binary PGM (P5) image of a 2D field; returns the path."""
+    data = np.asarray(data2d, dtype=np.float64)
+    lo = data.min() if vmin is None else vmin
+    hi = data.max() if vmax is None else vmax
+    span = hi - lo if hi > lo else 1.0
+    gray = np.clip((data - lo) / span * 255.0, 0, 255).astype(np.uint8)
+    with open(path, "wb") as f:
+        f.write(f"P5\n{gray.shape[1]} {gray.shape[0]}\n255\n".encode())
+        f.write(gray.tobytes())
+    return path
+
+
+def load_pgm(path: str) -> np.ndarray:
+    """Read back a binary PGM written by :func:`save_pgm`."""
+    with open(path, "rb") as f:
+        magic = f.readline().strip()
+        if magic != b"P5":
+            raise ValueError(f"{path} is not a binary PGM")
+        dims = f.readline().split()
+        w, h = int(dims[0]), int(dims[1])
+        maxval = int(f.readline())
+        data = np.frombuffer(f.read(w * h), dtype=np.uint8).reshape(h, w)
+    if maxval != 255:
+        raise ValueError("only 8-bit PGM supported")
+    return data
+
+
+@dataclass(frozen=True)
+class BubbleShape:
+    """Geometry of one connected vapor region."""
+
+    cells: int
+    centroid: tuple[float, float, float]
+    extents: tuple[float, float, float]  #: bounding box, physical units
+
+    @property
+    def sphericity(self) -> float:
+        """min/max bounding extent: 1 for a sphere, < 1 once deformed
+        (the Fig. 4 'asymmetric deformation' in one number)."""
+        lo, hi = min(self.extents), max(self.extents)
+        return lo / hi if hi > 0 else 1.0
+
+
+def interface_statistics(field_aos: np.ndarray, h: float,
+                         alpha_iso: float = 0.5) -> list[BubbleShape]:
+    """Connected vapor regions above the isosurface threshold.
+
+    Flood-fill labeling (6-connected); returns one :class:`BubbleShape`
+    per region, largest first.
+    """
+    alpha = vapor_fraction_field(field_aos)
+    mask = alpha > alpha_iso
+    labels = np.zeros(mask.shape, dtype=np.int32)
+    current = 0
+    shapes: list[BubbleShape] = []
+    offsets = [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1),
+               (0, 0, -1)]
+    nz, ny, nx = mask.shape
+    for seed in zip(*np.nonzero(mask & (labels == 0))):
+        if labels[seed]:
+            continue
+        current += 1
+        stack = [seed]
+        labels[seed] = current
+        members = []
+        while stack:
+            p = stack.pop()
+            members.append(p)
+            for dz, dy, dx in offsets:
+                q = (p[0] + dz, p[1] + dy, p[2] + dx)
+                if (
+                    0 <= q[0] < nz and 0 <= q[1] < ny and 0 <= q[2] < nx
+                    and mask[q] and not labels[q]
+                ):
+                    labels[q] = current
+                    stack.append(q)
+        pts = np.array(members, dtype=np.float64)
+        centroid = tuple((pts.mean(axis=0) + 0.5) * h)
+        extents = tuple((pts.max(axis=0) - pts.min(axis=0) + 1.0) * h)
+        shapes.append(
+            BubbleShape(cells=len(members), centroid=centroid, extents=extents)
+        )
+    shapes.sort(key=lambda s: -s.cells)
+    return shapes

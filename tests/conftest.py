@@ -1,0 +1,95 @@
+"""Shared fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.physics.eos import LIQUID, VAPOR, total_energy
+from repro.physics.state import ENERGY, GAMMA, NQ, PI, RHO, RHOU, RHOV, RHOW
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20130717)
+
+
+def make_uniform_aos(shape, rho=1000.0, u=(0.0, 0.0, 0.0), p=100.0,
+                     material=LIQUID, dtype=np.float64):
+    """Uniform AoS state array of the given spatial shape.
+
+    ``u`` is (w, v, u) = (z, y, x) velocity components.
+    """
+    out = np.empty(tuple(shape) + (NQ,), dtype=dtype)
+    wz, vy, ux = u
+    out[..., RHO] = rho
+    out[..., RHOU] = rho * ux
+    out[..., RHOV] = rho * vy
+    out[..., RHOW] = rho * wz
+    out[..., ENERGY] = total_energy(rho, ux, vy, wz, p, material.G, material.P)
+    out[..., GAMMA] = material.G
+    out[..., PI] = material.P
+    return out
+
+
+def make_smooth_aos(shape, rng, amplitude=0.05, dtype=np.float64):
+    """A smooth, physically admissible perturbed liquid state.
+
+    Density/pressure/velocity vary smoothly (low-order Fourier modes) so
+    kernels see non-trivial but well-conditioned data.
+    """
+    grids = np.meshgrid(
+        *(np.linspace(0.0, 2.0 * np.pi, n, endpoint=False) for n in shape),
+        indexing="ij",
+    )
+    phase = rng.uniform(0, 2 * np.pi, size=6)
+    z, y, x = grids
+    bump = (
+        np.sin(z + phase[0]) * np.cos(y + phase[1])
+        + 0.5 * np.sin(x + phase[2]) * np.cos(z + phase[3])
+        + 0.25 * np.sin(y + phase[4]) * np.sin(x + phase[5])
+    )
+    rho = 1000.0 * (1.0 + amplitude * bump)
+    p = 100.0 * (1.0 + amplitude * bump)
+    u = 5.0 * amplitude * np.sin(x + phase[0])
+    v = 5.0 * amplitude * np.cos(y + phase[1])
+    w = 5.0 * amplitude * np.sin(z + phase[2])
+    out = np.empty(tuple(shape) + (NQ,), dtype=dtype)
+    out[..., RHO] = rho
+    out[..., RHOU] = rho * u
+    out[..., RHOV] = rho * v
+    out[..., RHOW] = rho * w
+    out[..., ENERGY] = total_energy(rho, u, v, w, p, LIQUID.G, LIQUID.P)
+    out[..., GAMMA] = LIQUID.G
+    out[..., PI] = LIQUID.P
+    return out
+
+
+def make_interface_aos(shape, axis=0, dtype=np.float64, u_n=10.0, p0=100.0):
+    """A sharp liquid/vapor material interface moving at uniform (p, u)."""
+    out = np.empty(tuple(shape) + (NQ,), dtype=dtype)
+    coords = np.arange(shape[axis])
+    mask_shape = [1, 1, 1]
+    mask_shape[axis] = shape[axis]
+    is_vapor = (coords >= shape[axis] // 2).reshape(mask_shape)
+    is_vapor = np.broadcast_to(is_vapor, shape)
+    rho = np.where(is_vapor, 1.0, 1000.0)
+    G = np.where(is_vapor, VAPOR.G, LIQUID.G)
+    P = np.where(is_vapor, VAPOR.P, LIQUID.P)
+    vel = [0.0, 0.0, 0.0]
+    vel[axis] = u_n
+    w, v, u = vel if axis == 0 else (0, 0, 0)
+    if axis == 1:
+        w, v, u = 0.0, u_n, 0.0
+    elif axis == 2:
+        w, v, u = 0.0, 0.0, u_n
+    elif axis == 0:
+        w, v, u = u_n, 0.0, 0.0
+    out[..., RHO] = rho
+    out[..., RHOU] = rho * u
+    out[..., RHOV] = rho * v
+    out[..., RHOW] = rho * w
+    out[..., ENERGY] = total_energy(rho, u, v, w, p0, G, P)
+    out[..., GAMMA] = G
+    out[..., PI] = P
+    return out

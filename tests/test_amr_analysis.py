@@ -1,0 +1,58 @@
+"""Tests for the AMR-profitability analysis (repro.compression.amr_analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.compression.amr_analysis import AmrProfile, amr_profitability
+from repro.physics.state import NQ
+
+from .conftest import make_smooth_aos, make_uniform_aos
+
+
+class TestProfiles:
+    def test_uniform_field_fully_coarsenable(self):
+        f = make_uniform_aos((32, 32, 32)).astype(np.float32)
+        profiles = amr_profitability(f, thresholds=(1e-4,), block_size=16)
+        p = profiles[0]
+        assert p.best_scalar_coarsenable == 1.0
+        assert p.vector_coarsenable == 1.0
+        # Fully coarsenable: rate = 8 (cells shrink by 2^3).
+        assert p.vector_rate == pytest.approx(8.0, rel=1e-6)
+
+    def test_rough_field_not_coarsenable(self, rng):
+        f = make_smooth_aos((32, 32, 32), rng, amplitude=0.3)
+        profiles = amr_profitability(f, thresholds=(1e-7,), block_size=16)
+        p = profiles[0]
+        assert p.vector_coarsenable == 0.0
+        assert p.vector_rate == pytest.approx(1.0)
+
+    def test_vector_no_better_than_best_scalar(self, rng):
+        f = make_smooth_aos((32, 32, 32), rng, amplitude=0.1)
+        for p in amr_profitability(f, thresholds=(1e-3, 1e-5), block_size=16):
+            assert p.vector_coarsenable <= p.best_scalar_coarsenable + 1e-12
+            assert p.vector_rate <= p.best_scalar_rate + 1e-9
+
+    def test_monotone_in_threshold(self, rng):
+        f = make_smooth_aos((32, 32, 32), rng, amplitude=0.05)
+        profiles = amr_profitability(
+            f, thresholds=(1e-2, 1e-4, 1e-6), block_size=16
+        )
+        rates = [p.vector_rate for p in profiles]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_wrong_shape(self):
+        with pytest.raises(ValueError):
+            amr_profitability(np.zeros((8, 8, 8, NQ + 1)))
+
+
+class TestPaperClaim:
+    def test_collapse_field_unprofitable_at_solver_accuracy(self, rng):
+        """The paper's Section 7 argument: with pressure gradients filling
+        the domain, solver-accuracy thresholds leave almost nothing to
+        coarsen (rate ~1.15:1 scalar, 1.02:1 vector)."""
+        # A field with smooth broadband content everywhere (waves filling
+        # the domain after the collapse starts).
+        f = make_smooth_aos((32, 32, 32), rng, amplitude=0.2)
+        profiles = amr_profitability(f, thresholds=(1e-5,), block_size=16)
+        p = profiles[0]
+        assert p.vector_rate < 1.2  # unprofitable, as the paper argues

@@ -1,0 +1,72 @@
+"""Tests for the checkpointed campaign runner (repro.sim.campaign)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.driver import Simulation
+from repro.sim.campaign import Campaign
+from repro.sim.cloud import Bubble
+from repro.sim.config import SimulationConfig
+from repro.sim.ic import cloud_collapse
+
+IC = cloud_collapse([Bubble((0.5, 0.5, 0.5), 0.2)], p_liquid=1000.0)
+
+
+def base_config(**kw):
+    d = dict(cells=16, block_size=8, max_steps=1, diag_interval=1)
+    d.update(kw)
+    return SimulationConfig(**d)
+
+
+class TestSegmentedEquivalence:
+    def test_bit_exact_vs_uninterrupted(self, tmp_path):
+        full = Simulation(base_config(max_steps=6), IC).run()
+        campaign = Campaign(base_config(), IC, str(tmp_path))
+        result = campaign.run(total_steps=6, segment_steps=2)
+        np.testing.assert_array_equal(result.final_field, full.final_field)
+
+    def test_records_continuous(self, tmp_path):
+        campaign = Campaign(base_config(), IC, str(tmp_path))
+        result = campaign.run(total_steps=5, segment_steps=2)
+        assert [r.step for r in result.records] == [1, 2, 3, 4, 5]
+        assert len(result.segments) == 3
+        assert result.segments[-1].checkpoint is None  # no trailing ckpt
+
+    def test_diagnostics_match_uninterrupted(self, tmp_path):
+        full = Simulation(base_config(max_steps=6), IC).run()
+        campaign = Campaign(base_config(), IC, str(tmp_path))
+        result = campaign.run(total_steps=6, segment_steps=3)
+        np.testing.assert_allclose(
+            result.series("max_pressure"), full.series("max_pressure"),
+            rtol=1e-12,
+        )
+
+    def test_rank_count_changes_between_segments(self, tmp_path):
+        full = Simulation(base_config(max_steps=4), IC).run()
+        campaign = Campaign(base_config(), IC, str(tmp_path))
+        result = campaign.run(
+            total_steps=4, segment_steps=2, ranks_per_segment=[1, 2]
+        )
+        np.testing.assert_array_equal(result.final_field, full.final_field)
+        assert [s.ranks for s in result.segments] == [1, 2]
+
+    def test_checkpoints_written(self, tmp_path):
+        campaign = Campaign(base_config(), IC, str(tmp_path))
+        result = campaign.run(total_steps=4, segment_steps=2)
+        ck = result.segments[0].checkpoint
+        assert ck is not None and ck.endswith("campaign_step000002.rck")
+        import os
+
+        assert os.path.exists(ck)
+
+    def test_invalid_steps(self, tmp_path):
+        campaign = Campaign(base_config(), IC, str(tmp_path))
+        with pytest.raises(ValueError):
+            campaign.run(total_steps=0, segment_steps=1)
+
+    def test_single_segment_degenerates_to_plain_run(self, tmp_path):
+        full = Simulation(base_config(max_steps=3), IC).run()
+        campaign = Campaign(base_config(), IC, str(tmp_path))
+        result = campaign.run(total_steps=3, segment_steps=10)
+        np.testing.assert_array_equal(result.final_field, full.final_field)
+        assert len(result.segments) == 1

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.cells == 32 and args.ranks == 1
+
+    def test_compress_args(self):
+        args = build_parser().parse_args(["compress", "f.npy", "--eps", "1e-2"])
+        assert args.field == "f.npy"
+        assert args.eps == pytest.approx(1e-2)
+
+
+class TestCommands:
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out and "Gcells/s" in out
+
+    def test_run_small(self, capsys):
+        rc = main(["run", "--cells", "16", "--bubbles", "2", "--steps", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "max p" in out and "timers" in out
+
+    def test_run_with_erosion(self, capsys):
+        rc = main([
+            "run", "--cells", "16", "--bubbles", "2", "--steps", "3",
+            "--erosion-threshold", "50",
+        ])
+        assert rc == 0
+        assert "wall damage" in capsys.readouterr().out
+
+    def test_compress_roundtrip(self, tmp_path, capsys):
+        field = np.random.default_rng(0).normal(size=(16, 16, 16)).astype(
+            np.float32
+        )
+        path = tmp_path / "field.npy"
+        np.save(path, field)
+        rc = main(["compress", str(path), "--eps", "1e-2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert ":1" in out and "L-inf error" in out
+        assert (tmp_path / "field.rwz.npy").exists()
+
+    def test_compress_rejects_non_3d(self, tmp_path, capsys):
+        path = tmp_path / "bad.npy"
+        np.save(path, np.zeros((4, 4)))
+        assert main(["compress", str(path)]) == 2

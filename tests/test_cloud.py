@@ -1,0 +1,159 @@
+"""Tests for bubble cloud generation (repro.sim.cloud)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cloud import (
+    Bubble,
+    cloud_interaction_parameter,
+    cloud_vapor_volume,
+    equivalent_radius,
+    generate_cloud,
+    sample_radii,
+)
+
+
+class TestBubble:
+    def test_volume(self):
+        b = Bubble((0, 0, 0), 1.0)
+        assert b.volume == pytest.approx(4.0 / 3.0 * np.pi)
+
+    def test_overlap(self):
+        a = Bubble((0, 0, 0), 1.0)
+        b = Bubble((1.5, 0, 0), 1.0)
+        c = Bubble((3.0, 0, 0), 1.0)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_overlap_with_gap(self):
+        a = Bubble((0, 0, 0), 1.0)
+        c = Bubble((2.1, 0, 0), 1.0)
+        assert not a.overlaps(c)
+        assert a.overlaps(c, gap=0.5)
+
+    def test_contains_vectorized(self):
+        b = Bubble((0.5, 0.5, 0.5), 0.25)
+        z = np.array([0.5, 0.9])
+        inside = b.contains(z, 0.5, 0.5)
+        assert inside.tolist() == [True, False]
+
+
+class TestRadii:
+    def test_range_clipped(self, rng):
+        r = sample_radii(1000, rng, r_min=50e-6, r_max=200e-6)
+        assert r.min() >= 50e-6 and r.max() <= 200e-6
+
+    def test_deterministic(self):
+        a = sample_radii(10, np.random.default_rng(1))
+        b = sample_radii(10, np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)
+
+    def test_lognormal_median_near_geometric_mean(self, rng):
+        r = sample_radii(20000, rng, r_min=1e-6, r_max=1e-2, sigma=0.4)
+        assert np.median(r) == pytest.approx(np.sqrt(1e-6 * 1e-2), rel=0.05)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            sample_radii(-1, rng)
+        with pytest.raises(ValueError):
+            sample_radii(5, rng, r_min=2.0, r_max=1.0)
+
+
+class TestGenerateCloud:
+    def test_count_and_no_overlap(self):
+        bubbles = generate_cloud(
+            20, (0.5, 0.5, 0.5), 0.4, rng=42, r_min=0.02, r_max=0.05
+        )
+        assert len(bubbles) == 20
+        for i, a in enumerate(bubbles):
+            for b in bubbles[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_inside_cloud(self):
+        bubbles = generate_cloud(
+            10, (0.0, 0.0, 0.0), 1.0, rng=7, r_min=0.05, r_max=0.1
+        )
+        for b in bubbles:
+            d = np.sqrt(sum(c**2 for c in b.center))
+            assert d + b.radius <= 1.0 + 1e-12
+
+    def test_deterministic_by_seed(self):
+        a = generate_cloud(5, (0, 0, 0), 1.0, rng=3, r_min=0.05, r_max=0.1)
+        b = generate_cloud(5, (0, 0, 0), 1.0, rng=3, r_min=0.05, r_max=0.1)
+        assert [x.center for x in a] == [x.center for x in b]
+
+    def test_impossible_packing_raises(self):
+        with pytest.raises(RuntimeError, match="could not place"):
+            generate_cloud(
+                500, (0, 0, 0), 0.1, rng=1, r_min=0.05, r_max=0.05,
+                max_attempts_per_bubble=50,
+            )
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_property_no_overlaps(self, seed):
+        bubbles = generate_cloud(
+            8, (0, 0, 0), 1.0, rng=seed, r_min=0.03, r_max=0.08
+        )
+        for i, a in enumerate(bubbles):
+            for b in bubbles[i + 1 :]:
+                assert not a.overlaps(b)
+
+
+class TestDerivedQuantities:
+    def test_vapor_volume(self):
+        bubbles = [Bubble((0, 0, 0), 1.0), Bubble((5, 0, 0), 2.0)]
+        v = cloud_vapor_volume(bubbles)
+        assert v == pytest.approx(4.0 / 3.0 * np.pi * (1 + 8))
+
+    def test_equivalent_radius_inverts_volume(self):
+        assert equivalent_radius(4.0 / 3.0 * np.pi * 27.0) == pytest.approx(3.0)
+
+    def test_interaction_parameter_positive(self):
+        bubbles = generate_cloud(5, (0, 0, 0), 1.0, rng=1, r_min=0.05, r_max=0.1)
+        assert cloud_interaction_parameter(bubbles, 1.0) > 0
+
+    def test_interaction_parameter_empty(self):
+        assert cloud_interaction_parameter([], 1.0) == 0.0
+
+
+class TestTiledCloud:
+    def test_unit_count_and_translation(self):
+        from repro.sim.cloud import tiled_cloud
+
+        bubbles = tiled_cloud((2, 1, 1), bubbles_per_unit=3, rng=5)
+        assert len(bubbles) == 6
+        # First unit's bubbles live in z in [0, 1), second in [1, 2).
+        z = sorted(b.center[0] for b in bubbles)
+        assert z[0] < 1.0 and z[-1] > 1.0
+
+    def test_same_resolution_per_unit(self):
+        from repro.sim.cloud import tiled_cloud
+
+        bubbles = tiled_cloud((1, 1, 2), bubbles_per_unit=4, rng=9,
+                              r_min=0.07, r_max=0.11)
+        radii = [b.radius for b in bubbles]
+        assert min(radii) >= 0.07 and max(radii) <= 0.11
+
+    def test_units_independent_but_deterministic(self):
+        from repro.sim.cloud import tiled_cloud
+
+        a = tiled_cloud((2, 2, 1), bubbles_per_unit=2, rng=3)
+        b = tiled_cloud((2, 2, 1), bubbles_per_unit=2, rng=3)
+        assert [x.center for x in a] == [x.center for x in b]
+        # Different units draw different sub-clouds.
+        first = [x for x in a if x.center[0] < 1 and x.center[1] < 1]
+        second = [x for x in a if x.center[0] < 1 and x.center[1] >= 1]
+        rel_second = [(c[0], c[1] - 1.0, c[2]) for c in
+                      (x.center for x in second)]
+        assert [x.center for x in first] != rel_second
+
+    def test_no_overlaps_across_the_whole_system(self):
+        from repro.sim.cloud import tiled_cloud
+
+        bubbles = tiled_cloud((2, 1, 1), bubbles_per_unit=4, rng=1)
+        for i, a in enumerate(bubbles):
+            for b in bubbles[i + 1:]:
+                assert not a.overlaps(b)

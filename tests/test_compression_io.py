@@ -1,0 +1,116 @@
+"""Tests for collective compressed I/O (repro.compression.io)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.mpi_sim import SimWorld
+from repro.compression.io import (
+    HEADER_SIZE,
+    file_size,
+    read_compressed,
+    read_field,
+    read_header,
+    write_compressed_parallel,
+)
+from repro.compression.scheme import WaveletCompressor
+
+
+def rank_field(rank, n=16):
+    t = np.linspace(0, 1, n) + rank
+    return (t[:, None, None] * t[None, :, None] * t[None, None, :]).astype(
+        np.float32
+    )
+
+
+class TestSingleRank:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = str(tmp_path / "dump.rwz")
+        comp = WaveletCompressor(eps=1e-3)
+        world = SimWorld(1)
+
+        def main(comm):
+            cf = comp.compress(rank_field(0))
+            return write_compressed_parallel(comm, path, "p", cf)
+
+        ws = world.run(main)[0]
+        assert ws.offset == HEADER_SIZE
+        header = read_header(path)
+        assert header["quantity"] == "p"
+        assert len(header["ranks"]) == 1
+        field = read_field(path, comp)
+        assert np.abs(field - rank_field(0)).max() <= 1e-3 + 1e-5
+
+    def test_file_size_accounts_header(self, tmp_path):
+        path = str(tmp_path / "dump.rwz")
+        world = SimWorld(1)
+
+        def main(comm):
+            cf = WaveletCompressor(eps=1e-3).compress(rank_field(0))
+            write_compressed_parallel(comm, path, "p", cf)
+            return len(cf.payload)
+
+        nbytes = world.run(main)[0]
+        assert file_size(path) == HEADER_SIZE + nbytes
+
+
+class TestMultiRank:
+    def test_offsets_from_exscan(self, tmp_path):
+        path = str(tmp_path / "dump.rwz")
+        world = SimWorld(3)
+
+        def main(comm):
+            cf = WaveletCompressor(eps=1e-3).compress(rank_field(comm.rank))
+            ws = write_compressed_parallel(
+                comm, path, "p", cf,
+                rank_meta={"origin_cells": [16 * comm.rank, 0, 0]},
+            )
+            return (ws.offset, ws.nbytes)
+
+        out = world.run(main)
+        # Offsets are a prefix sum of the sizes after the header.
+        assert out[0][0] == HEADER_SIZE
+        assert out[1][0] == HEADER_SIZE + out[0][1]
+        assert out[2][0] == out[1][0] + out[1][1]
+
+    def test_payloads_not_overlapping(self, tmp_path):
+        path = str(tmp_path / "dump.rwz")
+        world = SimWorld(4)
+
+        def main(comm):
+            cf = WaveletCompressor(eps=1e-4).compress(rank_field(comm.rank))
+            write_compressed_parallel(
+                comm, path, "p", cf,
+                rank_meta={"origin_cells": [16 * comm.rank, 0, 0]},
+            )
+
+        world.run(main)
+        fields = read_compressed(path)
+        comp = WaveletCompressor()
+        for rank, cf in enumerate(fields):
+            out = comp.decompress(cf)
+            assert np.abs(out - rank_field(rank)).max() <= 1e-4 + 1e-5
+
+    def test_read_field_stitches_subdomains(self, tmp_path):
+        path = str(tmp_path / "dump.rwz")
+        world = SimWorld(2)
+
+        def main(comm):
+            cf = WaveletCompressor(eps=1e-4).compress(rank_field(comm.rank))
+            write_compressed_parallel(
+                comm, path, "p", cf,
+                rank_meta={"origin_cells": [16 * comm.rank, 0, 0]},
+            )
+
+        world.run(main)
+        field = read_field(path)
+        assert field.shape == (32, 16, 16)
+        assert np.abs(field[:16] - rank_field(0)).max() <= 1e-3
+        assert np.abs(field[16:] - rank_field(1)).max() <= 1e-3
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.rwz"
+        path.write_bytes(b'{"magic": "nope"}'.ljust(HEADER_SIZE) + b"x")
+        with pytest.raises(ValueError):
+            read_header(str(path))

@@ -1,0 +1,110 @@
+"""Tests for lossy decimation and its error guarantee."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.decimation import (
+    decimate,
+    exact_amplification,
+    guaranteed_threshold,
+)
+from repro.compression.wavelet import detail_mask, fwt3d, iwt3d, max_levels
+
+
+class TestAmplification:
+    def test_zero_levels(self):
+        assert exact_amplification((8, 8, 8), 0) == 0.0
+
+    def test_grows_with_levels(self):
+        k1 = exact_amplification((32, 32, 32), 1)
+        k2 = exact_amplification((32, 32, 32), 2)
+        k3 = exact_amplification((32, 32, 32), 3)
+        assert 1.0 < k1 < k2 < k3
+
+    def test_reasonable_magnitude(self):
+        """The mirror boundary stencil keeps the bound practical."""
+        assert exact_amplification((32, 32, 32), 3) < 200.0
+
+    def test_threshold_inverse(self):
+        k = exact_amplification((16, 16, 16), 2)
+        assert guaranteed_threshold(1e-2, (16, 16, 16), 2) == pytest.approx(
+            1e-2 / k
+        )
+
+    def test_cached(self):
+        a = exact_amplification((16, 16, 16), 1)
+        b = exact_amplification((16, 16, 16), 1)
+        assert a == b
+
+
+class TestDecimate:
+    def test_zero_eps_keeps_everything(self, rng):
+        c = fwt3d(rng.normal(size=(16, 16, 16)), 2)
+        c0 = c.copy()
+        stats = decimate(c, 2, eps=0.0)
+        np.testing.assert_array_equal(c, c0)
+        assert stats.zeroed == 0
+
+    def test_huge_eps_zeroes_all_details(self, rng):
+        c = fwt3d(rng.normal(size=(16, 16, 16)), 2)
+        stats = decimate(c, 2, eps=1e12)
+        mask = detail_mask(c.shape, 2)
+        assert not c[mask].any()
+        assert stats.zeroed == stats.total_details
+        assert stats.survival_fraction == 0.0
+
+    def test_coarse_untouched(self, rng):
+        x = rng.normal(size=(16, 16, 16))
+        c = fwt3d(x, 2)
+        corner = c[:4, :4, :4].copy()
+        decimate(c, 2, eps=1e12)
+        np.testing.assert_array_equal(c[:4, :4, :4], corner)
+
+    def test_negative_eps_raises(self, rng):
+        c = fwt3d(rng.normal(size=(8, 8, 8)), 1)
+        with pytest.raises(ValueError):
+            decimate(c, 1, eps=-1.0)
+
+    def test_stats_threshold_guaranteed_smaller(self, rng):
+        c1 = fwt3d(rng.normal(size=(16, 16, 16)), 2)
+        c2 = c1.copy()
+        s_g = decimate(c1, 2, eps=1e-2, guaranteed=True)
+        s_r = decimate(c2, 2, eps=1e-2, guaranteed=False)
+        assert s_g.threshold < s_r.threshold
+        assert s_g.zeroed <= s_r.zeroed
+
+
+class TestErrorGuarantee:
+    @given(seed=st.integers(0, 2**31),
+           eps_exp=st.integers(-4, 0),
+           kind=st.sampled_from(["random", "smooth", "steps"]))
+    @settings(max_examples=30, deadline=None)
+    def test_linf_bound_holds(self, seed, eps_exp, kind):
+        """The decimation error never exceeds eps (the paper's guarantee,
+        made rigorous by the exact amplification factor)."""
+        rng = np.random.default_rng(seed)
+        eps = 10.0**eps_exp
+        n = 16
+        if kind == "random":
+            x = rng.normal(size=(n, n, n))
+        elif kind == "smooth":
+            t = np.linspace(0, 3, n)
+            x = np.sin(t)[:, None, None] * np.cos(t)[None, :, None] * t[None, None, :]
+        else:
+            x = np.where(rng.random((n, n, n)) > 0.5, 1.0, 1000.0)
+        levels = max_levels(n)
+        c = fwt3d(x, levels)
+        decimate(c, levels, eps, guaranteed=True)
+        err = np.abs(iwt3d(c, levels) - x).max()
+        assert err <= eps * (1 + 1e-9)
+
+    def test_raw_mode_bounded_by_amplified_eps(self, rng):
+        x = rng.normal(size=(32, 32, 32))
+        levels = 3
+        eps = 1e-2
+        c = fwt3d(x, levels)
+        decimate(c, levels, eps, guaranteed=False)
+        err = np.abs(iwt3d(c, levels) - x).max()
+        assert err <= eps * exact_amplification((32, 32, 32), levels) * (1 + 1e-9)

@@ -1,0 +1,137 @@
+"""Tests for the simulation driver (repro.cluster.driver)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cluster.driver import Simulation
+from repro.compression.io import read_field, read_header
+from repro.sim.config import SimulationConfig
+from repro.sim.ic import cloud_collapse, uniform
+from repro.sim.cloud import Bubble
+
+
+def small_config(**kw):
+    defaults = dict(cells=16, block_size=8, max_steps=3, num_workers=2,
+                    diag_interval=1)
+    defaults.update(kw)
+    return SimulationConfig(**defaults)
+
+
+class TestUniformRun:
+    def test_stays_uniform(self):
+        res = Simulation(small_config(), uniform()).run()
+        assert len(res.records) == 3
+        ke = res.series("kinetic_energy")
+        np.testing.assert_allclose(ke, 0.0, atol=1e-12)
+        p = res.series("max_pressure")
+        np.testing.assert_allclose(p, 100.0, rtol=1e-4)
+
+    def test_time_advances_with_cfl(self):
+        res = Simulation(small_config(), uniform()).run()
+        dts = [r.dt for r in res.records]
+        assert all(dt > 0 for dt in dts)
+        # CFL 0.3, h = 1/16, c ~ 5.26 (paper materials in bar/kg/m3 units)
+        assert dts[0] == pytest.approx(0.3 * (1 / 16) / 5.258, rel=0.01)
+
+    def test_t_end_respected(self):
+        cfg = small_config(max_steps=1000, t_end=0.01)
+        res = Simulation(cfg, uniform()).run()
+        assert res.records[-1].time == pytest.approx(0.01, rel=1e-9)
+        assert len(res.records) < 1000
+
+    def test_timers_recorded(self):
+        res = Simulation(small_config(), uniform()).run()
+        for key in ("DT", "RHS", "UP", "COMM_WAIT", "DIAG"):
+            assert key in res.timers
+        assert res.timers["RHS"] > 0
+
+
+class TestDecompositionInvariance:
+    def test_multi_rank_matches_single(self):
+        ic = cloud_collapse([Bubble((0.5, 0.5, 0.5), 0.2)])
+        r1 = Simulation(small_config(cells=16, max_steps=3), ic).run()
+        r2 = Simulation(small_config(cells=16, max_steps=3, ranks=2), ic).run()
+        np.testing.assert_array_equal(r2.final_field, r1.final_field)
+
+    def test_eight_ranks(self):
+        ic = cloud_collapse([Bubble((0.5, 0.5, 0.5), 0.2)])
+        r1 = Simulation(small_config(cells=16, max_steps=2), ic).run()
+        r8 = Simulation(small_config(cells=16, max_steps=2, ranks=8), ic).run()
+        np.testing.assert_array_equal(r8.final_field, r1.final_field)
+
+    def test_diagnostics_identical_across_ranks(self):
+        ic = cloud_collapse([Bubble((0.5, 0.5, 0.5), 0.2)])
+        r1 = Simulation(small_config(cells=16, max_steps=3), ic).run()
+        r2 = Simulation(small_config(cells=16, max_steps=3, ranks=2), ic).run()
+        np.testing.assert_allclose(
+            r1.series("max_pressure"), r2.series("max_pressure"), rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            r1.series("vapor_volume"), r2.series("vapor_volume"), rtol=1e-12
+        )
+
+
+class TestCollapsePhysics:
+    def test_bubble_shrinks_under_pressure(self):
+        ic = cloud_collapse([Bubble((0.5, 0.5, 0.5), 0.2)])
+        res = Simulation(small_config(cells=16, max_steps=6), ic).run()
+        vv = res.series("vapor_volume")
+        assert vv[-1] < vv[0]
+
+    def test_kinetic_energy_grows_initially(self):
+        ic = cloud_collapse([Bubble((0.5, 0.5, 0.5), 0.2)])
+        res = Simulation(small_config(cells=16, max_steps=6), ic).run()
+        ke = res.series("kinetic_energy")
+        assert ke[-1] > ke[0]
+
+    def test_wall_diagnostic_active(self):
+        ic = cloud_collapse([Bubble((0.5, 0.5, 0.5), 0.2)])
+        cfg = small_config(cells=16, max_steps=2, wall=(0, -1))
+        res = Simulation(cfg, ic).run()
+        w = res.series("wall_max_pressure")
+        assert np.isfinite(w).all()
+        assert (w > 0).all()
+
+
+class TestDumps:
+    def test_compressed_dump_roundtrip(self, tmp_path):
+        ic = cloud_collapse([Bubble((0.5, 0.5, 0.5), 0.2)])
+        cfg = small_config(
+            cells=16, max_steps=2, dump_interval=2, dump_dir=str(tmp_path)
+        )
+        res = Simulation(cfg, ic).run()
+        p_file = tmp_path / "dump_step000002_p.rwz"
+        g_file = tmp_path / "dump_step000002_Gamma.rwz"
+        assert p_file.exists() and g_file.exists()
+        header = read_header(str(p_file))
+        assert header["quantity"] == "p"
+        field = read_field(str(g_file))
+        assert field.shape == (16, 16, 16)
+        # Decompressed Gamma must lie between the two material values.
+        assert field.min() >= 0.17 and field.max() <= 2.51
+        assert res.rank_results[0].compression_stats
+
+    def test_multi_rank_dump_stitches(self, tmp_path):
+        ic = cloud_collapse([Bubble((0.5, 0.5, 0.5), 0.2)])
+        base = dict(cells=16, max_steps=2, dump_interval=2)
+        cfg1 = small_config(**base, dump_dir=str(tmp_path / "a"))
+        cfg2 = small_config(**base, ranks=2, dump_dir=str(tmp_path / "b"))
+        os.makedirs(tmp_path / "a")
+        os.makedirs(tmp_path / "b")
+        Simulation(cfg1, ic).run()
+        Simulation(cfg2, ic).run()
+        f1 = read_field(str(tmp_path / "a" / "dump_step000002_p.rwz"))
+        f2 = read_field(str(tmp_path / "b" / "dump_step000002_p.rwz"))
+        assert f2.shape == f1.shape
+        # Lossy thresholds are applied per subdomain, so allow the bound.
+        assert np.abs(f1 - f2).max() <= 2 * 1e-2 * 120  # eps_p * scale margin
+
+    def test_io_timers(self, tmp_path):
+        ic = uniform()
+        cfg = small_config(dump_interval=1, dump_dir=str(tmp_path))
+        res = Simulation(cfg, ic).run()
+        assert res.timers.get("IO_WAVELET", 0) > 0
+        assert res.timers.get("IO_FWT", 0) > 0
+        assert res.timers.get("IO_WRITE", 0) > 0

@@ -1,0 +1,148 @@
+"""Unit tests for the stiffened-gas EOS (repro.physics.eos)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics.eos import (
+    LIQUID,
+    VAPOR,
+    G_from_gamma,
+    Material,
+    P_from_gamma_pc,
+    conserved_to_primitive,
+    gamma_from_G,
+    max_characteristic_velocity,
+    mixture,
+    pc_from_G_P,
+    pressure,
+    primitive_to_conserved,
+    sound_speed,
+    total_energy,
+)
+from repro.physics.state import ENERGY, GAMMA, NQ, PI, RHO, RHOU, RHOV, RHOW
+
+from .conftest import make_smooth_aos, make_uniform_aos
+
+
+class TestMaterials:
+    def test_paper_values(self):
+        # Section 7: gamma, pc = (1.4, 1 bar) vapor; (6.59, 4096 bar) liquid.
+        assert VAPOR.gamma == 1.4 and VAPOR.pc == 1.0
+        assert LIQUID.gamma == 6.59 and LIQUID.pc == 4096.0
+
+    def test_G_of_vapor(self):
+        assert VAPOR.G == pytest.approx(1.0 / 0.4)
+
+    def test_P_of_liquid(self):
+        assert LIQUID.P == pytest.approx(6.59 * 4096.0 / 5.59)
+
+    def test_material_frozen(self):
+        with pytest.raises(AttributeError):
+            VAPOR.gamma = 2.0  # type: ignore[misc]
+
+
+class TestParameterMaps:
+    @given(gamma=st.floats(1.01, 10.0), pc=st.floats(0.0, 1e4))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, gamma, pc):
+        G = G_from_gamma(gamma)
+        P = P_from_gamma_pc(gamma, pc)
+        assert gamma_from_G(G) == pytest.approx(gamma, rel=1e-12)
+        assert pc_from_G_P(G, P) == pytest.approx(pc, rel=1e-9, abs=1e-12)
+
+    def test_vectorized(self):
+        gam = np.array([1.4, 6.59])
+        np.testing.assert_allclose(gamma_from_G(G_from_gamma(gam)), gam)
+
+
+class TestPressureEnergy:
+    @given(
+        rho=st.floats(0.5, 2000.0),
+        u=st.floats(-50, 50), v=st.floats(-50, 50), w=st.floats(-50, 50),
+        p=st.floats(0.01, 5000.0),
+        which=st.sampled_from(["vapor", "liquid"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, rho, u, v, w, p, which):
+        mat = VAPOR if which == "vapor" else LIQUID
+        E = total_energy(rho, u, v, w, p, mat.G, mat.P)
+        p2 = pressure(rho, rho * u, rho * v, rho * w, E, mat.G, mat.P)
+        # Recovering a small p from E ~ Pi + ... is ill-conditioned by
+        # E / (G p); scale the tolerance accordingly.
+        tol = 1e-12 * max(1.0, float(E) / mat.G)
+        assert abs(p2 - p) <= tol + 1e-9 * abs(p)
+
+    def test_known_energy(self):
+        # At rest: E = G p + P.
+        E = total_energy(1000.0, 0, 0, 0, 100.0, LIQUID.G, LIQUID.P)
+        assert E == pytest.approx(LIQUID.G * 100.0 + LIQUID.P)
+
+
+class TestSoundSpeed:
+    def test_ideal_gas_limit(self):
+        # Pi = 0 reduces to c = sqrt(gamma p / rho).
+        c = sound_speed(1.0, 1.0, VAPOR.G, 0.0)
+        assert c == pytest.approx(np.sqrt(1.4), rel=1e-12)
+
+    def test_stiffened_liquid(self):
+        c = sound_speed(1000.0, 100.0, LIQUID.G, LIQUID.P)
+        expected = np.sqrt(6.59 * (100.0 + 4096.0) / 1000.0)
+        assert c == pytest.approx(expected, rel=1e-12)
+
+    def test_floor_guards_negative(self):
+        # Round-off can push the argument slightly negative near vacua.
+        c = sound_speed(1.0, -1e-15, VAPOR.G, 0.0)
+        assert np.isfinite(c) and c >= 0
+
+
+class TestConversions:
+    def test_roundtrip_smooth(self, rng):
+        aos = make_smooth_aos((6, 5, 4), rng)
+        U = np.moveaxis(aos, -1, 0)
+        W = conserved_to_primitive(U)
+        U2 = primitive_to_conserved(W)
+        np.testing.assert_allclose(U2, U, rtol=1e-12, atol=1e-9)
+
+    def test_primitive_values(self):
+        aos = make_uniform_aos((3, 3, 3), rho=800.0, u=(1.0, 2.0, 3.0), p=50.0)
+        W = conserved_to_primitive(np.moveaxis(aos, -1, 0))
+        np.testing.assert_allclose(W[RHO], 800.0)
+        np.testing.assert_allclose(W[RHOW], 1.0)  # z-velocity
+        np.testing.assert_allclose(W[RHOV], 2.0)
+        np.testing.assert_allclose(W[RHOU], 3.0)
+        np.testing.assert_allclose(W[ENERGY], 50.0, rtol=1e-10)
+        np.testing.assert_allclose(W[GAMMA], LIQUID.G)
+        np.testing.assert_allclose(W[PI], LIQUID.P)
+
+
+class TestMaxCharacteristicVelocity:
+    def test_at_rest_equals_sound_speed(self):
+        aos = make_uniform_aos((4, 4, 4))
+        W = conserved_to_primitive(np.moveaxis(aos, -1, 0))
+        c = sound_speed(1000.0, 100.0, LIQUID.G, LIQUID.P)
+        assert max_characteristic_velocity(W) == pytest.approx(float(c), rel=1e-6)
+
+    def test_velocity_adds(self):
+        aos = make_uniform_aos((4, 4, 4), u=(0.0, 0.0, 7.0))
+        W = conserved_to_primitive(np.moveaxis(aos, -1, 0))
+        c = sound_speed(1000.0, 100.0, LIQUID.G, LIQUID.P)
+        assert max_characteristic_velocity(W) == pytest.approx(float(c) + 7.0, rel=1e-6)
+
+
+class TestMixture:
+    def test_endpoints(self):
+        G, P = mixture(VAPOR, LIQUID, 1.0)
+        assert G == pytest.approx(VAPOR.G) and P == pytest.approx(VAPOR.P)
+        G, P = mixture(VAPOR, LIQUID, 0.0)
+        assert G == pytest.approx(LIQUID.G) and P == pytest.approx(LIQUID.P)
+
+    @given(alpha=st.floats(0.0, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_linear_and_bounded(self, alpha):
+        G, P = mixture(VAPOR, LIQUID, alpha)
+        lo, hi = sorted((VAPOR.G, LIQUID.G))
+        assert lo <= G <= hi
+        lo, hi = sorted((VAPOR.P, LIQUID.P))
+        assert lo <= P <= hi

@@ -1,0 +1,123 @@
+"""Tests for the wall erosion model (repro.sim.erosion)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.driver import Simulation
+from repro.sim.cloud import Bubble
+from repro.sim.config import SimulationConfig
+from repro.sim.erosion import STEEL_LIKE, ErosionModel, WallDamageAccumulator
+from repro.sim.ic import cloud_collapse
+
+
+class TestAccumulator:
+    def test_no_damage_below_threshold(self):
+        acc = WallDamageAccumulator((4, 4), 0.1, ErosionModel(p_threshold=100.0))
+        acc.update(np.full((4, 4), 50.0), dt=1.0)
+        assert not acc.damage.any()
+        assert acc.exposure_time == 1.0
+
+    def test_power_law(self):
+        acc = WallDamageAccumulator((2, 2), 0.1,
+                                    ErosionModel(p_threshold=100.0, exponent=2.0))
+        p = np.array([[150.0, 200.0], [100.0, 300.0]])
+        acc.update(p, dt=0.5)
+        np.testing.assert_allclose(
+            acc.damage, 0.5 * np.array([[2500.0, 10000.0], [0.0, 40000.0]])
+        )
+
+    def test_accumulates_over_steps(self):
+        acc = WallDamageAccumulator((2, 2), 0.1, ErosionModel(p_threshold=0.0,
+                                                              exponent=1.0))
+        acc.update(np.full((2, 2), 10.0), 1.0)
+        acc.update(np.full((2, 2), 10.0), 1.0)
+        np.testing.assert_allclose(acc.damage, 20.0)
+        assert acc.peak_pressure == 10.0
+
+    def test_shape_mismatch(self):
+        acc = WallDamageAccumulator((2, 2), 0.1, STEEL_LIKE)
+        with pytest.raises(ValueError):
+            acc.update(np.zeros((3, 3)), 0.1)
+
+    def test_negative_dt(self):
+        acc = WallDamageAccumulator((2, 2), 0.1, STEEL_LIKE)
+        with pytest.raises(ValueError):
+            acc.update(np.zeros((2, 2)), -1.0)
+
+
+class TestPitStatistics:
+    def _damaged(self):
+        acc = WallDamageAccumulator((8, 8), 0.5,
+                                    ErosionModel(p_threshold=0.0, exponent=1.0))
+        p = np.zeros((8, 8))
+        p[1:3, 1:3] = 100.0  # pit 1
+        p[6, 6] = 80.0  # pit 2
+        acc.update(p, 1.0)
+        return acc
+
+    def test_pit_count(self):
+        assert self._damaged().pit_count(damage_fraction=0.1) == 2
+
+    def test_pitted_area(self):
+        acc = self._damaged()
+        assert acc.pitted_area(damage_fraction=0.1) == pytest.approx(
+            5 * 0.5**2
+        )
+
+    def test_no_damage_no_pits(self):
+        acc = WallDamageAccumulator((4, 4), 0.1, STEEL_LIKE)
+        assert acc.pit_count() == 0
+        assert acc.erosion_rate() == 0.0
+
+    def test_erosion_rate(self):
+        acc = self._damaged()
+        assert acc.erosion_rate() == pytest.approx(acc.damage.mean())
+
+    def test_merge(self):
+        a, b = self._damaged(), self._damaged()
+        m = a.merged(b)
+        np.testing.assert_allclose(m.damage, 2 * a.damage)
+        with pytest.raises(ValueError):
+            a.merged(WallDamageAccumulator((2, 2), 0.1, STEEL_LIKE))
+
+
+class TestDriverIntegration:
+    def test_config_requires_wall(self):
+        with pytest.raises(ValueError, match="requires a wall"):
+            SimulationConfig(cells=16, block_size=8,
+                             erosion=ErosionModel(p_threshold=1.0))
+
+    def test_collapse_near_wall_accumulates_damage(self):
+        model = ErosionModel(p_threshold=1.02 * 1000.0, exponent=2.0)
+        cfg = SimulationConfig(
+            cells=16, block_size=8, max_steps=60, wall=(0, -1),
+            erosion=model, diag_interval=0,
+        )
+        # Bubble close to the wall; its collapse loads the wall.
+        ic = cloud_collapse([Bubble((0.35, 0.5, 0.5), 0.2)], p_liquid=1000.0)
+        res = Simulation(cfg, ic).run()
+        dmg = res.wall_damage
+        assert dmg is not None
+        assert dmg.shape == (16, 16)
+        assert dmg.max() > 0.0
+
+    def test_multi_rank_damage_stitched(self):
+        model = ErosionModel(p_threshold=0.0, exponent=1.0)
+        cfg = SimulationConfig(
+            cells=16, block_size=8, max_steps=2, wall=(0, -1),
+            erosion=model, ranks=2, diag_interval=0,
+        )
+        ic = cloud_collapse([Bubble((0.5, 0.5, 0.5), 0.2)])
+        res = Simulation(cfg, ic).run()
+        dmg = res.wall_damage
+        # Decomposition is along z (the wall axis), so only one rank owns
+        # the wall; its full 16x16 patch must be present.
+        assert dmg is not None and dmg.shape == (16, 16)
+        assert (dmg > 0).all()  # threshold 0: every cell accumulates
+
+    def test_no_erosion_no_damage_map(self):
+        cfg = SimulationConfig(cells=16, block_size=8, max_steps=1,
+                               wall=(0, -1), diag_interval=0)
+        ic = cloud_collapse([Bubble((0.5, 0.5, 0.5), 0.2)])
+        res = Simulation(cfg, ic).run()
+        assert res.wall_damage is None

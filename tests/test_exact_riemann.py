@@ -1,0 +1,96 @@
+"""Tests for the exact stiffened-gas Riemann solver."""
+
+import numpy as np
+import pytest
+
+from repro.physics.exact_riemann import RiemannSide, sample, solve
+
+
+class TestToroReferences:
+    """Toro's ideal-gas reference solutions (Chapter 4 tables)."""
+
+    def test_sod(self):
+        sol = solve(RiemannSide(1.0, 0.0, 1.0), RiemannSide(0.125, 0.0, 0.1))
+        assert sol.p_star == pytest.approx(0.30313, rel=1e-4)
+        assert sol.u_star == pytest.approx(0.92745, rel=1e-4)
+        assert sol.rho_star_l == pytest.approx(0.42632, rel=1e-4)
+        assert sol.rho_star_r == pytest.approx(0.26557, rel=1e-4)
+
+    def test_123_double_rarefaction(self):
+        sol = solve(RiemannSide(1.0, -2.0, 0.4), RiemannSide(1.0, 2.0, 0.4))
+        assert sol.p_star == pytest.approx(0.00189, rel=5e-3)
+        assert sol.u_star == pytest.approx(0.0, abs=1e-10)
+
+    def test_strong_shock_left(self):
+        # Toro test 3: p_l = 1000.
+        sol = solve(RiemannSide(1.0, 0.0, 1000.0), RiemannSide(1.0, 0.0, 0.01))
+        assert sol.p_star == pytest.approx(460.894, rel=1e-4)
+        assert sol.u_star == pytest.approx(19.5975, rel=1e-4)
+
+
+class TestSymmetry:
+    def test_mirror(self):
+        sol = solve(RiemannSide(1.0, 0.3, 1.0), RiemannSide(0.5, -0.1, 0.4))
+        mir = solve(RiemannSide(0.5, 0.1, 0.4), RiemannSide(1.0, -0.3, 1.0))
+        assert mir.p_star == pytest.approx(sol.p_star, rel=1e-10)
+        assert mir.u_star == pytest.approx(-sol.u_star, rel=1e-10)
+
+    def test_trivial_problem(self):
+        s = RiemannSide(1.0, 0.5, 2.0)
+        sol = solve(s, s)
+        assert sol.p_star == pytest.approx(2.0, rel=1e-10)
+        assert sol.u_star == pytest.approx(0.5, rel=1e-10)
+        assert sol.rho_star_l == pytest.approx(1.0, rel=1e-10)
+
+
+class TestStiffened:
+    def test_water_shock_tube_star_state(self):
+        L = RiemannSide(1000.0, 0.0, 1000.0, gamma=6.59, pc=4096.0)
+        R = RiemannSide(1000.0, 0.0, 100.0, gamma=6.59, pc=4096.0)
+        sol = solve(L, R)
+        assert 100.0 < sol.p_star < 1000.0
+        assert sol.u_star > 0  # contact moves toward the low-pressure side
+        assert sol.rho_star_l < 1000.0  # rarefied
+        assert sol.rho_star_r > 1000.0  # shocked
+
+    def test_sound_speed(self):
+        s = RiemannSide(1000.0, 0.0, 100.0, gamma=6.59, pc=4096.0)
+        assert s.c == pytest.approx(np.sqrt(6.59 * 4196.0 / 1000.0))
+
+    def test_two_phase_contact(self):
+        """Different materials across the interface at equal p, u: the
+        solution is a pure (stationary) contact."""
+        L = RiemannSide(1000.0, 0.0, 100.0, gamma=6.59, pc=4096.0)
+        R = RiemannSide(1.0, 0.0, 100.0, gamma=1.4, pc=1.0)
+        sol = solve(L, R)
+        assert sol.p_star == pytest.approx(100.0, rel=1e-8)
+        assert sol.u_star == pytest.approx(0.0, abs=1e-8)
+
+
+class TestSampling:
+    def test_far_field_states(self):
+        sol = solve(RiemannSide(1.0, 0.0, 1.0), RiemannSide(0.125, 0.0, 0.1))
+        rho, u, p = sample(sol, np.array([-10.0, 10.0]))
+        assert rho[0] == pytest.approx(1.0)
+        assert p[1] == pytest.approx(0.1)
+
+    def test_star_region(self):
+        sol = solve(RiemannSide(1.0, 0.0, 1.0), RiemannSide(0.125, 0.0, 0.1))
+        # Between tail of the left fan (~ -0.07) and the contact (0.927).
+        rho, u, p = sample(sol, np.array([0.5]))
+        assert p[0] == pytest.approx(sol.p_star, rel=1e-10)
+        assert rho[0] == pytest.approx(sol.rho_star_l, rel=1e-10)
+
+    def test_fan_is_continuous(self):
+        sol = solve(RiemannSide(1.0, 0.0, 1.0), RiemannSide(0.125, 0.0, 0.1))
+        ws = sol.wave_speeds()
+        xi = np.linspace(ws["left_head"] - 0.01, ws["left_tail"] + 0.01, 200)
+        rho, _, _ = sample(sol, xi)
+        assert np.abs(np.diff(rho)).max() < 0.02  # no jumps inside the fan
+
+    def test_shock_is_a_jump(self):
+        sol = solve(RiemannSide(1.0, 0.0, 1.0), RiemannSide(0.125, 0.0, 0.1))
+        s = sol.wave_speeds()["right_head"]
+        rho, _, _ = sample(sol, np.array([s - 1e-9, s + 1e-9]))
+        assert rho[0] == pytest.approx(sol.rho_star_r)
+        assert rho[1] == pytest.approx(0.125)

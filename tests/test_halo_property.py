@@ -1,0 +1,106 @@
+"""Property tests of the halo exchange over random fields and layouts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.halo import HaloExchange
+from repro.cluster.mpi_sim import SimWorld
+from repro.cluster.topology import CartTopology, balanced_dims
+from repro.core.block import GHOSTS
+from repro.node.grid import BlockGrid
+from repro.physics.state import NQ
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    ranks=st.sampled_from([2, 4, 8]),
+    periodic=st.booleans(),
+)
+@settings(max_examples=10, deadline=None)
+def test_ghosts_match_global_field(seed, ranks, periodic):
+    """For every rank-boundary block face, the provider must serve exactly
+    the corresponding slab of the global field (wrapping if periodic)."""
+    n = 8  # block size
+    gb = (2, 2, 2)  # global blocks
+    cells = tuple(g * n for g in gb)
+    rng = np.random.default_rng(seed)
+    global_field = rng.normal(size=cells + (NQ,)).astype(np.float32)
+    dims = balanced_dims(ranks)
+    per = (periodic,) * 3
+
+    world = SimWorld(ranks)
+
+    def main(comm):
+        topo = CartTopology(dims, per)
+        starts, counts = topo.subdomain_blocks(comm.rank, gb)
+        origin = tuple(s * n for s in starts)
+        grid = BlockGrid(counts, n, h=1.0)
+        nz, ny, nx = grid.cells
+        grid.from_array(
+            global_field[
+                origin[0] : origin[0] + nz,
+                origin[1] : origin[1] + ny,
+                origin[2] : origin[2] + nx,
+            ]
+        )
+        halo = HaloExchange(comm, topo, grid)
+        provider = halo.exchange()
+
+        # Check every rank-boundary face of every boundary block.
+        B = grid.num_blocks
+        for block in grid.blocks.values():
+            for axis in range(3):
+                for side in (-1, 1):
+                    edge = 0 if side == -1 else B[axis] - 1
+                    if block.index[axis] != edge:
+                        continue
+                    if topo.neighbor(comm.rank, axis, side) is None:
+                        assert provider(block.index, axis, side) is None
+                        continue
+                    slab = provider(block.index, axis, side)
+                    # Expected: the global-field slab adjacent to this
+                    # block face, wrapped modulo the domain.
+                    lo = [
+                        origin[d] + block.index[d] * n for d in range(3)
+                    ]
+                    idx = []
+                    for d in range(3):
+                        if d == axis:
+                            if side == -1:
+                                rng_d = np.arange(lo[d] - GHOSTS, lo[d])
+                            else:
+                                rng_d = np.arange(lo[d] + n, lo[d] + n + GHOSTS)
+                            idx.append(rng_d % cells[d])
+                        else:
+                            idx.append(np.arange(lo[d], lo[d] + n))
+                    expected = global_field[np.ix_(*idx)]
+                    np.testing.assert_array_equal(slab, expected)
+        return True
+
+    assert all(world.run(main))
+
+
+@given(seed=st.integers(0, 2**31))
+@settings(max_examples=5, deadline=None)
+def test_exchange_idempotent(seed):
+    """Repeating the exchange (no state change) returns identical slabs."""
+    rng = np.random.default_rng(seed)
+    world = SimWorld(2)
+    field = rng.normal(size=(16, 8, 8, NQ)).astype(np.float32)
+
+    def main(comm):
+        topo = CartTopology((2, 1, 1))
+        grid = BlockGrid((1, 1, 1), 8, h=1.0)
+        grid.from_array(field[comm.rank * 8 : (comm.rank + 1) * 8])
+        halo = HaloExchange(comm, topo, grid)
+        p1 = halo.exchange()
+        p2 = halo.exchange()
+        axis_side = (0, 1) if comm.rank == 0 else (0, -1)
+        a = p1((0, 0, 0), *axis_side)
+        b = p2((0, 0, 0), *axis_side)
+        np.testing.assert_array_equal(a, b)
+        return True
+
+    assert all(world.run(main))

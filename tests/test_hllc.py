@@ -1,0 +1,111 @@
+"""Tests for the HLLC flux (repro.physics.riemann.hllc_flux)."""
+
+import numpy as np
+import pytest
+
+from repro.physics.eos import LIQUID, VAPOR
+from repro.physics.riemann import hllc_flux, hlle_flux
+from repro.physics.state import ENERGY, GAMMA, NQ, PI, RHO, RHOU, RHOV, RHOW
+
+from .test_riemann import exact_flux, make_state
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("normal", [0, 1, 2])
+    def test_equal_states(self, normal):
+        W = make_state(1000.0, 3.0, -2.0, 1.0, 100.0)
+        flux, ustar = hllc_flux(W.copy(), W.copy(), normal)
+        np.testing.assert_allclose(flux, exact_flux(W, normal), rtol=1e-12)
+
+    def test_supersonic_upwinding(self):
+        Wl = make_state(1.0, 50.0, 0.0, 0.0, 1.0, VAPOR)
+        Wr = make_state(0.5, 60.0, 0.0, 0.0, 0.5, VAPOR)
+        flux, ustar = hllc_flux(Wl, Wr, 0)
+        np.testing.assert_allclose(flux, exact_flux(Wl, 0), rtol=1e-12)
+        assert ustar == pytest.approx(50.0)
+
+
+class TestContactResolution:
+    def test_stationary_contact_exact(self):
+        """HLLC keeps an isolated stationary contact *exactly*: zero mass
+        flux and pure pressure in the momentum flux (HLLE smears this --
+        the reason HLLC exists)."""
+        Wl = make_state(1000.0, 0.0, 0.0, 0.0, 100.0, LIQUID)
+        Wr = make_state(1.0, 0.0, 0.0, 0.0, 100.0, VAPOR)
+        flux, ustar = hllc_flux(Wl, Wr, 0)
+        assert flux[RHO] == pytest.approx(0.0, abs=1e-10)
+        assert flux[ENERGY] == pytest.approx(0.0, abs=1e-8)
+        assert flux[RHOU] == pytest.approx(100.0, rel=1e-10)
+        assert flux[GAMMA] == pytest.approx(0.0, abs=1e-12)
+        assert ustar == pytest.approx(0.0, abs=1e-12)
+
+    def test_hlle_smears_the_same_contact(self):
+        Wl = make_state(1000.0, 0.0, 0.0, 0.0, 100.0, LIQUID)
+        Wr = make_state(1.0, 0.0, 0.0, 0.0, 100.0, VAPOR)
+        flux_c, _ = hllc_flux(Wl.copy(), Wr.copy(), 0)
+        flux_e, _ = hlle_flux(Wl, Wr, 0)
+        # HLLE's mass flux across the contact is nonzero; HLLC's vanishes.
+        assert abs(flux_e[RHO]) > 100.0 * abs(flux_c[RHO])
+
+    def test_moving_contact_speed(self):
+        """For a pure moving contact, u* equals the contact velocity."""
+        u0 = 5.0
+        Wl = make_state(1000.0, u0, 0.0, 0.0, 100.0, LIQUID)
+        Wr = make_state(1.0, u0, 0.0, 0.0, 100.0, VAPOR)
+        _, ustar = hllc_flux(Wl, Wr, 0)
+        assert ustar == pytest.approx(u0, rel=1e-10)
+
+
+class TestAgainstHlle:
+    def test_same_wave_fan_limits(self, rng):
+        """Both solvers agree where the solution is smooth."""
+        W = make_state(
+            1000.0 * (1 + 0.001 * rng.random(8)), 0.1 * rng.random(8),
+            0.0, 0.0, 100.0 * (1 + 0.001 * rng.random(8)), shape=(8,),
+        )
+        W2 = make_state(
+            1000.0 * (1 + 0.001 * rng.random(8)), 0.1 * rng.random(8),
+            0.0, 0.0, 100.0 * (1 + 0.001 * rng.random(8)), shape=(8,),
+        )
+        fc, _ = hllc_flux(W.copy(), W2.copy(), 0)
+        fe, _ = hlle_flux(W, W2, 0)
+        scale = np.abs(fe).max()
+        np.testing.assert_allclose(fc, fe, atol=0.05 * scale)
+
+    def test_solver_option_in_rhs(self):
+        """compute_rhs threads the solver choice; uniform states stay
+        uniform under both."""
+        from repro.physics.equations import compute_rhs
+        from .conftest import make_uniform_aos
+        from repro.physics.state import aos_to_soa
+
+        pad = make_uniform_aos((14, 14, 14), u=(1.0, 2.0, 3.0))
+        for solver in ("hlle", "hllc"):
+            rhs = compute_rhs(aos_to_soa(pad), 0.01, solver=solver)
+            assert np.abs(rhs).max() < 1e-8
+
+    def test_unknown_solver(self):
+        from repro.physics.equations import compute_rhs
+        from .conftest import make_uniform_aos
+        from repro.physics.state import aos_to_soa
+
+        pad = make_uniform_aos((14, 14, 14))
+        with pytest.raises(ValueError, match="unknown Riemann solver"):
+            compute_rhs(aos_to_soa(pad), 0.01, solver="roe")
+
+
+class TestInterfaceAdvectionHllc:
+    def test_contact_preserved_in_full_rhs(self):
+        """A stationary material interface produces (near-)zero RHS under
+        HLLC -- the contact-sharp property at the PDE level."""
+        from repro.physics.equations import compute_rhs
+        from repro.physics.state import aos_to_soa
+        from .conftest import make_interface_aos
+
+        pad = make_interface_aos((16, 16, 16), axis=2, u_n=0.0, p0=100.0)
+        rhs = compute_rhs(aos_to_soa(pad), 0.02, solver="hllc")
+        # All conserved quantities stay exactly put at the contact.
+        assert np.abs(rhs[RHO]).max() < 1e-8
+        assert np.abs(rhs[ENERGY]).max() < 1e-6
+        rhs_e = compute_rhs(aos_to_soa(pad), 0.02, solver="hlle")
+        assert np.abs(rhs_e[RHO]).max() > 10.0 * max(np.abs(rhs[RHO]).max(), 1e-12)

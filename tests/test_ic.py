@@ -1,0 +1,135 @@
+"""Tests for initial-condition builders (repro.sim.ic)."""
+
+import numpy as np
+import pytest
+
+from repro.physics.eos import LIQUID, VAPOR
+from repro.physics.state import ENERGY, GAMMA, NQ, PI, RHO, RHOU, RHOW
+from repro.sim.cloud import Bubble
+from repro.sim.diagnostics import pressure_field
+from repro.sim.ic import (
+    cloud_collapse,
+    shock_bubble,
+    shock_tube,
+    smoothed_indicator,
+    uniform,
+)
+
+
+def grid_coords(n=16, extent=1.0):
+    c = (np.arange(n) + 0.5) * (extent / n)
+    return c[:, None, None], c[None, :, None], c[None, None, :]
+
+
+class TestSmoothedIndicator:
+    def test_sharp_limit(self):
+        d = np.array([-1.0, -0.1, 0.1, 1.0])
+        np.testing.assert_array_equal(
+            smoothed_indicator(d, 0.0), [1.0, 1.0, 0.0, 0.0]
+        )
+
+    def test_half_at_interface(self):
+        assert smoothed_indicator(0.0, 0.1) == pytest.approx(0.5)
+
+    def test_monotone(self):
+        d = np.linspace(-1, 1, 50)
+        a = smoothed_indicator(d, 0.2)
+        assert (np.diff(a) <= 0).all()
+
+
+class TestUniform:
+    def test_values(self):
+        fn = uniform(rho=500.0, p=25.0)
+        state = fn(*grid_coords())
+        assert state.shape == (16, 16, 16, NQ)
+        np.testing.assert_allclose(state[..., RHO], 500.0)
+        np.testing.assert_allclose(pressure_field(state), 25.0, rtol=1e-10)
+
+
+class TestCloudCollapse:
+    def test_phases(self):
+        fn = cloud_collapse([Bubble((0.5, 0.5, 0.5), 0.25)])
+        state = fn(*grid_coords(32))
+        p = pressure_field(state)
+        center = state[16, 16, 16]
+        corner = state[0, 0, 0]
+        assert center[RHO] == pytest.approx(1.0)  # vapor density
+        assert corner[RHO] == pytest.approx(1000.0)
+        assert p[16, 16, 16] == pytest.approx(0.0234, rel=1e-6)
+        assert p[0, 0, 0] == pytest.approx(100.0, rel=1e-6)
+        assert center[GAMMA] == pytest.approx(VAPOR.G)
+        assert corner[GAMMA] == pytest.approx(LIQUID.G)
+
+    def test_at_rest(self):
+        fn = cloud_collapse([Bubble((0.5, 0.5, 0.5), 0.25)])
+        state = fn(*grid_coords())
+        assert not state[..., RHOU:RHOU + 3].any()
+
+    def test_multiple_bubbles_union(self):
+        fn = cloud_collapse(
+            [Bubble((0.25, 0.5, 0.5), 0.15), Bubble((0.75, 0.5, 0.5), 0.15)]
+        )
+        state = fn(*grid_coords(32))
+        # Both bubble centers are vapor.
+        assert state[8, 16, 16, RHO] == pytest.approx(1.0)
+        assert state[24, 16, 16, RHO] == pytest.approx(1.0)
+        # Midpoint between them is liquid.
+        assert state[16, 16, 16, RHO] == pytest.approx(1000.0)
+
+    def test_smoothing_produces_mixture_cells(self):
+        fn = cloud_collapse([Bubble((0.5, 0.5, 0.5), 0.25)], smoothing=0.05)
+        state = fn(*grid_coords(32))
+        rho = state[..., RHO]
+        mixed = (rho > 10) & (rho < 990)
+        assert mixed.any()
+
+
+class TestShockTube:
+    def test_states(self):
+        fn = shock_tube(
+            {"rho": 1000.0, "p": 300.0, "u": 2.0},
+            {"rho": 900.0, "p": 100.0},
+            x0=0.5, axis=2,
+        )
+        state = fn(*grid_coords(16))
+        assert state[0, 0, 0, RHO] == pytest.approx(1000.0)
+        assert state[0, 0, 15, RHO] == pytest.approx(900.0)
+        # Velocity normal is x -> RHOU slot.
+        assert state[0, 0, 0, RHOU] == pytest.approx(2000.0)
+        assert state[0, 0, 15, RHOU] == pytest.approx(0.0)
+
+    def test_axis_z(self):
+        fn = shock_tube(
+            {"rho": 1.0, "p": 2.0, "u": 3.0}, {"rho": 1.0, "p": 1.0},
+            x0=0.5, axis=0,
+        )
+        state = fn(*grid_coords(8))
+        assert state[0, 0, 0, RHOW] == pytest.approx(3.0)
+
+    def test_two_phase(self):
+        fn = shock_tube(
+            {"rho": 1000.0, "p": 100.0}, {"rho": 1.0, "p": 100.0},
+            x0=0.5, axis=2, material_left=LIQUID, material_right=VAPOR,
+        )
+        state = fn(*grid_coords(8))
+        assert state[0, 0, 0, GAMMA] == pytest.approx(LIQUID.G)
+        assert state[0, 0, 7, GAMMA] == pytest.approx(VAPOR.G)
+
+
+class TestShockBubble:
+    def test_three_regions(self):
+        fn = shock_bubble(
+            Bubble((0.5, 0.5, 0.6), 0.1), shock_position=0.2,
+        )
+        state = fn(*grid_coords(32))
+        p = pressure_field(state)
+        assert p[16, 16, 2] == pytest.approx(300.0, rel=1e-6)  # post-shock
+        assert p[16, 16, 12] == pytest.approx(100.0, rel=1e-6)  # pre-shock
+        # Bubble center is at x ~ 0.6 -> index 19.
+        assert state[16, 16, 19, RHO] == pytest.approx(1.0)
+
+    def test_shock_moving(self):
+        fn = shock_bubble(Bubble((0.5, 0.5, 0.7), 0.1), shock_position=0.2)
+        state = fn(*grid_coords(32))
+        assert state[16, 16, 2, RHOU] > 0  # post-shock momentum
+        assert state[16, 16, 12, RHOU] == pytest.approx(0.0)

@@ -1,0 +1,156 @@
+"""End-to-end physics validation of the 3D solver.
+
+These integration tests run real simulations through the full
+cluster/node/core stack and compare against analytic baselines:
+
+* advection of a material interface at the exact transport speed;
+* a Sod shock tube against the exact Riemann solution;
+* single-bubble collapse against the Rayleigh collapse time
+  (the paper's Section 2 lineage).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.driver import Simulation
+from repro.physics.exact_riemann import RiemannSide, sample, solve
+from repro.physics.eos import Material
+from repro.physics.rayleigh import rayleigh_collapse_time
+from repro.sim.cloud import Bubble
+from repro.sim.config import SimulationConfig
+from repro.sim.diagnostics import pressure_field, vapor_fraction_field
+from repro.sim.ic import cloud_collapse, shock_tube
+
+
+IDEAL_GAS = Material(name="gas", gamma=1.4, pc=0.0)
+
+
+class TestInterfaceAdvection:
+    def test_interface_travels_at_flow_speed(self):
+        """A Gamma interface in uniform (p, u) flow moves at exactly u."""
+        u0 = 2.0
+        ic = shock_tube(
+            {"rho": 1.0, "p": 1.0, "u": u0},
+            {"rho": 1.0, "p": 1.0, "u": u0},
+            x0=0.3, axis=2,
+            material_left=Material("a", 1.4, 0.0),
+            material_right=Material("b", 1.6, 0.0),
+        )
+        cfg = SimulationConfig(
+            cells=(8, 8, 64), block_size=8, extent=1.0,
+            max_steps=10_000, t_end=0.2, diag_interval=0,
+        )
+        res = Simulation(cfg, ic).run()
+        G = res.final_field[4, 4, :, 5].astype(np.float64)
+        x = (np.arange(64) + 0.5) / 64
+        # Interface center: where Gamma crosses the midpoint value.
+        mid = 0.5 * (1 / 0.4 + 1 / 0.6)
+        crossing = x[np.argmin(np.abs(G - mid))]
+        assert crossing == pytest.approx(0.3 + u0 * 0.2, abs=2.5 / 64)
+
+    def test_pressure_stays_uniform(self):
+        ic = shock_tube(
+            {"rho": 1000.0, "p": 100.0, "u": 5.0},
+            {"rho": 1.0, "p": 100.0, "u": 5.0},
+            x0=0.4, axis=2,
+            material_left=Material("liq", 6.59, 4096.0),
+            material_right=Material("vap", 1.4, 1.0),
+        )
+        cfg = SimulationConfig(
+            cells=(8, 8, 64), block_size=8, extent=1.0,
+            max_steps=10_000, t_end=0.02, diag_interval=0,
+        )
+        res = Simulation(cfg, ic).run()
+        p = pressure_field(res.final_field)
+        # float32 storage of E ~ 5000 limits the attainable uniformity.
+        assert np.abs(p - 100.0).max() < 0.5
+
+
+class TestSodShockTube:
+    @pytest.fixture(scope="class")
+    def sod_result(self):
+        ic = shock_tube(
+            {"rho": 1.0, "p": 1.0},
+            {"rho": 0.125, "p": 0.1},
+            x0=0.5, axis=2,
+            material_left=IDEAL_GAS, material_right=IDEAL_GAS,
+        )
+        cfg = SimulationConfig(
+            cells=(8, 8, 128), block_size=8, extent=1.0,
+            max_steps=10_000, t_end=0.2, diag_interval=0, cfl=0.3,
+        )
+        return Simulation(cfg, ic).run()
+
+    def test_star_pressure_plateau(self, sod_result):
+        p = pressure_field(sod_result.final_field)[4, 4, :]
+        # The star region at t = 0.2 spans roughly x in (0.55, 0.80).
+        plateau = p[int(0.60 * 128) : int(0.78 * 128)]
+        assert np.median(plateau) == pytest.approx(0.30313, rel=0.03)
+
+    def test_contact_density_jump(self, sod_result):
+        rho = sod_result.final_field[4, 4, :, 0].astype(np.float64)
+        sol = solve(RiemannSide(1.0, 0.0, 1.0), RiemannSide(0.125, 0.0, 0.1))
+        left_star = rho[int(0.60 * 128) : int(0.66 * 128)]
+        right_star = rho[int(0.72 * 128) : int(0.78 * 128)]
+        assert np.median(left_star) == pytest.approx(sol.rho_star_l, rel=0.05)
+        assert np.median(right_star) == pytest.approx(sol.rho_star_r, rel=0.05)
+
+    def test_profile_l1_error_small(self, sod_result):
+        rho = sod_result.final_field[4, 4, :, 0].astype(np.float64)
+        x = (np.arange(128) + 0.5) / 128
+        sol = solve(RiemannSide(1.0, 0.0, 1.0), RiemannSide(0.125, 0.0, 0.1))
+        exact, _, _ = sample(sol, (x - 0.5) / 0.2)
+        l1 = np.abs(rho - exact).mean()
+        assert l1 < 0.015  # WENO5/HLLE at 128 cells
+
+    def test_no_spurious_oscillations(self, sod_result):
+        """Density must stay within the Riemann-problem bounds."""
+        rho = sod_result.final_field[4, 4, :, 0]
+        assert rho.min() > 0.125 - 0.01
+        assert rho.max() < 1.0 + 0.01
+
+
+class TestSingleBubbleCollapse:
+    @pytest.fixture(scope="class")
+    def collapse_result(self):
+        R0 = 0.3
+        ic = cloud_collapse([Bubble((0.5, 0.5, 0.5), R0)], p_liquid=1000.0)
+        tau = rayleigh_collapse_time(R0, 1000.0, 1000.0 - 0.0234)
+        cfg = SimulationConfig(
+            cells=16, block_size=8, extent=1.0,
+            max_steps=400, t_end=1.5 * tau, num_workers=2,
+        )
+        return Simulation(cfg, ic).run(), tau, R0
+
+    def test_collapse_time_near_rayleigh(self, collapse_result):
+        res, tau, _ = collapse_result
+        vv = res.series("vapor_volume")
+        t_min = res.times[int(np.argmin(vv))]
+        # 16^3 resolves the bubble with only ~5 cells per radius; the
+        # Rayleigh time must still be matched to ~20 %.
+        assert t_min == pytest.approx(tau, rel=0.2)
+
+    def test_volume_shrinks_monotonically_before_collapse(self, collapse_result):
+        res, tau, _ = collapse_result
+        vv = res.series("vapor_volume")
+        upto = res.times < 0.7 * tau
+        assert (np.diff(vv[upto]) < 1e-6).all()
+
+    def test_pressure_amplification(self, collapse_result):
+        """Collapse focuses pressure well above ambient (paper Fig. 5
+        reports ~20x at the wall for cloud collapse)."""
+        res, _, _ = collapse_result
+        assert res.series("max_pressure").max() > 2.0 * 1000.0
+
+    def test_kinetic_energy_peaks_near_collapse(self, collapse_result):
+        res, tau, _ = collapse_result
+        ke = res.series("kinetic_energy")
+        t_ke = res.times[int(np.argmax(ke))]
+        assert t_ke == pytest.approx(tau, rel=0.35)
+
+    def test_vapor_fraction_field_shrinks(self, collapse_result):
+        res, _, R0 = collapse_result
+        alpha = vapor_fraction_field(res.final_field)
+        final_volume = alpha.sum() * (1.0 / 16) ** 3
+        initial_volume = 4.0 / 3.0 * np.pi * R0**3
+        assert final_volume < 0.6 * initial_volume

@@ -1,0 +1,235 @@
+"""Tests for the simulated SPMD communicator (repro.cluster.mpi_sim)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.mpi_sim import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CommTimeoutError,
+    Request,
+    SimWorld,
+    WorldError,
+)
+
+
+class TestWorldBasics:
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SimWorld(0)
+
+    def test_single_rank_fast_path(self):
+        world = SimWorld(1)
+        out = world.run(lambda comm: comm.rank)
+        assert out == [0]
+
+    def test_rank_and_size(self):
+        world = SimWorld(4)
+        out = world.run(lambda comm: (comm.rank, comm.size))
+        assert out == [(r, 4) for r in range(4)]
+
+    def test_exception_propagates(self):
+        world = SimWorld(2, timeout=5.0)
+
+        def main(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            return "ok"
+
+        with pytest.raises(WorldError) as exc:
+            world.run(main)
+        assert 1 in exc.value.failures
+
+    def test_extra_args(self):
+        world = SimWorld(2)
+        out = world.run(lambda comm, a, b: a + b + comm.rank, 10, 20)
+        assert out == [30, 31]
+
+
+class TestPointToPoint:
+    def test_send_recv_object(self):
+        world = SimWorld(2)
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        assert world.run(main)[1] == {"a": 7}
+
+    def test_send_recv_array_copies(self):
+        world = SimWorld(2)
+
+        def main(comm):
+            if comm.rank == 0:
+                data = np.arange(10.0)
+                comm.send(data, dest=1)
+                data[:] = -1  # must not affect the delivered message
+                return None
+            got = comm.recv(source=0)
+            return got.sum()
+
+        assert world.run(main)[1] == pytest.approx(45.0)
+
+    def test_selective_receive_by_tag(self):
+        world = SimWorld(2)
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1, tag=1)
+                comm.send("second", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert world.run(main)[1] == ("first", "second")
+
+    def test_any_source_any_tag(self):
+        world = SimWorld(3)
+
+        def main(comm):
+            if comm.rank != 0:
+                comm.send(comm.rank, dest=0, tag=comm.rank)
+                return None
+            got = {comm.recv(ANY_SOURCE, ANY_TAG) for _ in range(2)}
+            return got
+
+        assert world.run(main)[0] == {1, 2}
+
+    def test_isend_irecv(self):
+        world = SimWorld(2)
+
+        def main(comm):
+            if comm.rank == 0:
+                req = comm.isend(np.ones(4), dest=1, tag=5)
+                req.wait()
+                return None
+            req = comm.irecv(source=0, tag=5)
+            return float(req.wait().sum())
+
+        assert world.run(main)[1] == pytest.approx(4.0)
+
+    def test_self_message(self):
+        world = SimWorld(1)
+
+        def main(comm):
+            comm.send("loop", dest=0, tag=3)
+            return comm.recv(source=0, tag=3)
+
+        assert world.run(main) == ["loop"]
+
+    def test_invalid_dest(self):
+        world = SimWorld(1)
+        with pytest.raises(WorldError):
+            world.run(lambda comm: comm.send(1, dest=5))
+
+    def test_recv_timeout(self):
+        world = SimWorld(1, timeout=0.1)
+        with pytest.raises(WorldError) as exc:
+            world.run(lambda comm: comm.recv(source=0, timeout=0.1))
+        assert isinstance(exc.value.failures[0], CommTimeoutError)
+
+    def test_traffic_accounting(self):
+        world = SimWorld(2)
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100, dtype=np.float32), dest=1)
+                return (comm.bytes_sent, comm.messages_sent)
+            comm.recv(source=0)
+            return (comm.bytes_sent, comm.messages_sent)
+
+        out = world.run(main)
+        assert out[0] == (400, 1)
+        assert out[1] == (0, 0)
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        world = SimWorld(4)
+        out = world.run(lambda comm: comm.allreduce(comm.rank + 1, op="sum"))
+        assert out == [10] * 4
+
+    def test_allreduce_max_min(self):
+        world = SimWorld(3)
+        assert world.run(lambda c: c.allreduce(c.rank, op="max")) == [2] * 3
+        assert world.run(lambda c: c.allreduce(c.rank, op="min")) == [0] * 3
+
+    def test_allreduce_arrays(self):
+        world = SimWorld(3)
+        out = world.run(lambda c: c.allreduce(np.full(3, float(c.rank)), op="sum"))
+        for arr in out:
+            np.testing.assert_allclose(arr, 3.0)
+
+    def test_bcast(self):
+        world = SimWorld(3)
+        out = world.run(
+            lambda c: c.bcast("payload" if c.rank == 1 else None, root=1)
+        )
+        assert out == ["payload"] * 3
+
+    def test_gather(self):
+        world = SimWorld(3)
+        out = world.run(lambda c: c.gather(c.rank * 2, root=0))
+        assert out[0] == [0, 2, 4]
+        assert out[1] is None and out[2] is None
+
+    def test_allgather(self):
+        world = SimWorld(3)
+        out = world.run(lambda c: c.allgather(c.rank))
+        assert out == [[0, 1, 2]] * 3
+
+    def test_exscan(self):
+        """The paper's exclusive prefix sum for I/O offsets."""
+        world = SimWorld(4)
+        out = world.run(lambda c: c.exscan(10 * (c.rank + 1), op="sum"))
+        assert out == [0, 10, 30, 60]
+
+    def test_exscan_matches_numpy(self, rng):
+        sizes = rng.integers(1, 100, size=5).tolist()
+        world = SimWorld(5)
+        out = world.run(lambda c: c.exscan(sizes[c.rank]))
+        expected = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        assert out == expected.tolist()
+
+    def test_barrier(self):
+        world = SimWorld(4)
+        order = []
+
+        def main(comm):
+            order.append(("pre", comm.rank))
+            comm.barrier()
+            order.append(("post", comm.rank))
+
+        world.run(main)
+        pres = [i for i, (p, _) in enumerate(order) if p == "pre"]
+        posts = [i for i, (p, _) in enumerate(order) if p == "post"]
+        assert max(pres) < min(posts)
+
+    def test_repeated_collectives_in_order(self):
+        """Collective generations must not cross-talk across calls."""
+        world = SimWorld(3)
+
+        def main(comm):
+            a = comm.allreduce(comm.rank, op="sum")
+            b = comm.allreduce(comm.rank * 10, op="sum")
+            c = comm.exscan(1)
+            return (a, b, c)
+
+        out = world.run(main)
+        assert out == [(3, 30, r) for r in range(3)]
+
+
+class TestRequest:
+    def test_waitall(self):
+        reqs = [Request(lambda t, i=i: i) for i in range(3)]
+        assert Request.waitall(reqs) == [0, 1, 2]
+
+    def test_wait_is_idempotent(self):
+        calls = []
+        req = Request(lambda t: calls.append(1) or "x")
+        assert req.wait() == "x"
+        assert req.wait() == "x"
+        assert len(calls) == 1

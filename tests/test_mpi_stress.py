@@ -1,0 +1,131 @@
+"""Stress/property tests of the SPMD communicator under random traffic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.mpi_sim import SimWorld
+
+
+class TestRandomPointToPoint:
+    @given(seed=st.integers(0, 2**31), size=st.integers(2, 5),
+           n_msgs=st.integers(1, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_all_messages_delivered_exactly_once(self, seed, size, n_msgs):
+        """Every rank sends random messages; the multiset of received
+        payloads equals the multiset sent, regardless of ordering."""
+        rng = np.random.default_rng(seed)
+        # Predetermine the traffic matrix so every rank knows what to expect.
+        sends = [
+            [(int(rng.integers(0, size)), int(rng.integers(0, 1000)))
+             for _ in range(n_msgs)]
+            for _ in range(size)
+        ]
+        expected = [[] for _ in range(size)]
+        for src, msgs in enumerate(sends):
+            for dest, value in msgs:
+                expected[dest].append((src, value))
+
+        world = SimWorld(size)
+
+        def main(comm):
+            for dest, value in sends[comm.rank]:
+                comm.send((comm.rank, value), dest=dest, tag=0)
+            got = [comm.recv(tag=0) for _ in range(len(expected[comm.rank]))]
+            return sorted(got)
+
+        results = world.run(main)
+        for rank in range(size):
+            assert results[rank] == sorted(expected[rank])
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_tag_isolation(self, seed):
+        """Messages with different tags never cross-match."""
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(4).tolist()
+        world = SimWorld(2)
+
+        def main(comm):
+            if comm.rank == 0:
+                for tag in order:
+                    comm.send(f"payload-{tag}", dest=1, tag=tag)
+                return None
+            # Receive in a different (fixed) order than sent.
+            return [comm.recv(source=0, tag=t) for t in range(4)]
+
+        out = world.run(main)[1]
+        assert out == [f"payload-{t}" for t in range(4)]
+
+
+class TestCollectiveStress:
+    @given(seed=st.integers(0, 2**31), size=st.integers(1, 6),
+           rounds=st.integers(1, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_repeated_mixed_collectives(self, seed, size, rounds):
+        """Random sequences of collectives stay generation-aligned."""
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 100, size=(rounds, size)).tolist()
+        world = SimWorld(size)
+
+        def main(comm):
+            out = []
+            for r in range(rounds):
+                v = values[r][comm.rank]
+                out.append(comm.allreduce(v, op="sum"))
+                out.append(comm.allreduce(v, op="max"))
+                out.append(comm.exscan(v))
+            return out
+
+        results = world.run(main)
+        for r in range(rounds):
+            row = values[r]
+            for rank in range(size):
+                got = results[rank][3 * r : 3 * r + 3]
+                assert got[0] == sum(row)
+                assert got[1] == max(row)
+                assert got[2] == sum(row[:rank])
+
+    def test_interleaved_p2p_and_collectives(self):
+        """Point-to-point traffic between collectives must not desync the
+        collective generations (a classic bug class in homemade MPIs)."""
+        world = SimWorld(3)
+
+        def main(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            total = 0
+            for i in range(5):
+                comm.send(comm.rank * 100 + i, dest=right, tag=i)
+                total += comm.allreduce(1, op="sum")
+                got = comm.recv(source=left, tag=i)
+                assert got == left * 100 + i
+                comm.barrier()
+            return total
+
+        assert world.run(main) == [15, 15, 15]
+
+    def test_large_array_reduction(self, rng):
+        world = SimWorld(4)
+        data = rng.normal(size=(4, 1000))
+
+        def main(comm):
+            return comm.allreduce(data[comm.rank], op="sum")
+
+        out = world.run(main)
+        for arr in out:
+            np.testing.assert_allclose(arr, data.sum(axis=0), rtol=1e-12)
+
+
+class TestWorldReuse:
+    def test_sequential_runs_on_one_world(self):
+        world = SimWorld(3)
+        a = world.run(lambda c: c.allreduce(c.rank))
+        b = world.run(lambda c: c.allreduce(c.rank * 2))
+        assert a == [3] * 3 and b == [6] * 3
+
+    def test_many_small_worlds(self):
+        for size in (1, 2, 3, 4):
+            out = SimWorld(size).run(lambda c: c.allreduce(1))
+            assert out == [size] * size

@@ -1,0 +1,83 @@
+"""Tests for the torus network and I/O models (repro.perf.network)."""
+
+import pytest
+
+from repro.perf.network import (
+    TorusNetwork,
+    dump_analysis,
+    halo_message_bytes,
+    overlap_analysis,
+)
+
+
+class TestTorus:
+    def test_extents_product(self):
+        net = TorusNetwork()
+        for nodes in (1024, 98304, 24576):
+            ext = net.torus_extents(nodes)
+            p = 1
+            for e in ext:
+                p *= e
+            assert p == nodes
+            assert len(ext) == 5
+
+    def test_hops_grow_with_size(self):
+        net = TorusNetwork()
+        assert net.average_hops(98304) > net.average_hops(1024)
+
+    def test_p2p_time_bandwidth_dominated(self):
+        net = TorusNetwork()
+        t = net.point_to_point_time(20e6)
+        assert t == pytest.approx(20e6 / 2e9, rel=0.01)  # ~10 ms
+
+    def test_p2p_latency_floor(self):
+        net = TorusNetwork()
+        assert net.point_to_point_time(0.0) >= net.message_overhead_s
+
+    def test_allreduce_logarithmic(self):
+        net = TorusNetwork()
+        t1k = net.allreduce_time(1024)
+        t100k = net.allreduce_time(98304)
+        assert t100k < 2.0 * t1k  # log scaling, not linear
+        assert t100k < 1e-3  # microseconds, not milliseconds
+
+
+class TestHaloMessages:
+    def test_paper_window(self):
+        """The paper quotes 3-30 MB per message; per-node subdomains of
+        256^3 .. 640^3 land inside that window."""
+        assert 3e6 < halo_message_bytes(256) < 30e6
+        assert 3e6 < halo_message_bytes(600) < 31e6
+
+    def test_512_cubed(self):
+        # 3 * 512^2 * 28 B = 22 MB.
+        assert halo_message_bytes(512) == pytest.approx(22.0e6, rel=0.01)
+
+
+class TestOverlap:
+    def test_compute_hides_communication(self):
+        """Paper: 'the time spent in the node layer is expected to be one
+        order of magnitude larger than the communication time'."""
+        ov = overlap_analysis(512)
+        assert ov.ratio > 10.0
+
+    def test_ratio_grows_with_subdomain(self):
+        assert overlap_analysis(512).ratio > overlap_analysis(128).ratio
+
+
+class TestDumpModel:
+    def test_compressed_dump_under_one_percent(self):
+        """Paper: compression takes '< 1 % of the total simulation time'."""
+        dm = dump_analysis()
+        assert dm.dump_fraction_of_runtime < 0.01
+
+    def test_io_saving_in_paper_band(self):
+        """Paper: '10-100X improvement in terms of I/O time'."""
+        dm = dump_analysis()
+        assert 10.0 < dm.io_time_saving < 100.0
+
+    def test_footprint_ratio(self):
+        dm = dump_analysis(rate_p=15.0, rate_gamma=125.0)
+        assert dm.uncompressed_bytes / dm.compressed_bytes == pytest.approx(
+            2.0 / (1.0 / 15.0 + 1.0 / 125.0), rel=1e-9
+        )

@@ -1,0 +1,98 @@
+"""Tests for the node-layer solver (repro.node.solver)."""
+
+import numpy as np
+import pytest
+
+from repro.node.dispatcher import Dispatcher
+from repro.node.ghosts import BoundarySpec
+from repro.node.grid import BlockGrid
+from repro.node.solver import NodeSolver
+from repro.physics.eos import LIQUID, sound_speed
+from repro.physics.state import NQ
+
+from .conftest import make_uniform_aos
+
+
+def uniform_grid(num_blocks=(2, 2, 2), n=8, **kw):
+    g = BlockGrid(num_blocks, n, h=0.1)
+    field = make_uniform_aos(g.cells, **kw).astype(np.float32)
+    g.from_array(field)
+    return g
+
+
+class TestRhsEvaluation:
+    def test_uniform_zero_rhs(self):
+        g = uniform_grid(u=(1.0, 2.0, 3.0))
+        solver = NodeSolver(g)
+        rhs = solver.evaluate_rhs()
+        assert set(rhs) == set(g.blocks)
+        for r in rhs.values():
+            assert np.abs(r).max() < 1e-8
+
+    def test_block_independence_of_decomposition(self, rng):
+        """One 16^3 block and eight 8^3 blocks must give identical RHS for
+        the same global field (intra-rank ghosts are exact)."""
+        from .conftest import make_smooth_aos
+
+        field = make_smooth_aos((16, 16, 16), rng).astype(np.float32)
+
+        g1 = BlockGrid((1, 1, 1), 16, h=0.1)
+        g1.from_array(field)
+        r1 = NodeSolver(g1).evaluate_rhs()[(0, 0, 0)]
+
+        g2 = BlockGrid((2, 2, 2), 8, h=0.1)
+        g2.from_array(field)
+        rhs2 = NodeSolver(g2).evaluate_rhs()
+        assembled = np.empty((16, 16, 16, NQ))
+        for (bz, by, bx), r in rhs2.items():
+            assembled[bz * 8:(bz + 1) * 8, by * 8:(by + 1) * 8,
+                      bx * 8:(bx + 1) * 8] = r
+        np.testing.assert_allclose(assembled, r1, rtol=1e-6, atol=1e-7)
+
+    def test_slices_equals_vectorized(self, rng):
+        from .conftest import make_smooth_aos
+
+        field = make_smooth_aos((16, 16, 16), rng).astype(np.float32)
+        g = BlockGrid((2, 2, 2), 8, h=0.1)
+        g.from_array(field)
+        r_vec = NodeSolver(g).evaluate_rhs()
+        r_sl = NodeSolver(g, use_slices=True).evaluate_rhs()
+        for idx in r_vec:
+            scale = max(np.abs(r_vec[idx]).max(), 1.0)
+            np.testing.assert_allclose(
+                r_sl[idx], r_vec[idx], rtol=1e-13, atol=1e-12 * scale
+            )
+
+    def test_schedule_recorded(self):
+        g = uniform_grid()
+        solver = NodeSolver(g, dispatcher=Dispatcher(num_workers=3))
+        solver.evaluate_rhs()
+        assert solver.last_schedule is not None
+        assert solver.last_schedule.busy.size == 3
+
+
+class TestSos:
+    def test_uniform(self):
+        g = uniform_grid()
+        c = float(sound_speed(1000.0, 100.0, LIQUID.G, LIQUID.P))
+        assert NodeSolver(g).max_sos() == pytest.approx(c, rel=1e-5)
+
+
+class TestUpdate:
+    def test_euler_stage_applies_rhs(self):
+        g = uniform_grid()
+        solver = NodeSolver(g)
+        rhs = {idx: np.ones((8, 8, 8, NQ)) for idx in g.blocks}
+        before = g.to_array().astype(np.float64)
+        solver.update(rhs, a=0.0, b=1.0, dt=0.5)
+        after = g.to_array().astype(np.float64)
+        np.testing.assert_allclose(after - before, 0.5, atol=1e-3)
+
+    def test_wall_boundary_produces_reflection_pressure(self):
+        """A flow toward a reflecting wall must raise wall pressure."""
+        g = uniform_grid((1, 1, 1), 16, u=(-5.0, 0.0, 0.0))  # w < 0: toward z=0
+        solver = NodeSolver(g, boundary=BoundarySpec.wall_at(0, -1))
+        rhs = solver.evaluate_rhs()
+        # The RHS at the wall layer must oppose the incoming momentum.
+        r = rhs[(0, 0, 0)]
+        assert np.abs(r[0]).max() > np.abs(r[8]).max()

@@ -1,0 +1,109 @@
+"""Tests for the slice ring buffer (repro.core.ringbuffer)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ringbuffer import RING_DEPTH, SliceRing
+
+
+class TestBasics:
+    def test_depth_constant_matches_weno(self):
+        # The WENO5 z-face stencil needs 6 consecutive slices.
+        assert RING_DEPTH == 6
+
+    def test_empty(self):
+        ring = SliceRing((4, 4))
+        assert len(ring) == 0
+        assert not ring.full
+
+    def test_push_and_index(self):
+        ring = SliceRing((2, 2), depth=3)
+        for i in range(3):
+            ring.push(np.full((2, 2), float(i)))
+        assert ring.full
+        for i in range(3):
+            np.testing.assert_array_equal(ring[i], np.full((2, 2), float(i)))
+
+    def test_wraparound_evicts_oldest(self):
+        ring = SliceRing((2,), depth=3)
+        for i in range(5):
+            ring.push(np.full((2,), float(i)))
+        # Live slices are 2, 3, 4 (oldest first).
+        np.testing.assert_array_equal(ring[0], [2.0, 2.0])
+        np.testing.assert_array_equal(ring[2], [4.0, 4.0])
+
+    def test_negative_index(self):
+        ring = SliceRing((1,), depth=4)
+        for i in range(4):
+            ring.push(np.array([float(i)]))
+        np.testing.assert_array_equal(ring[-1], [3.0])
+
+    def test_out_of_range(self):
+        ring = SliceRing((1,), depth=3)
+        ring.push(np.array([1.0]))
+        with pytest.raises(IndexError):
+            ring[1]
+        with pytest.raises(IndexError):
+            ring[-2]
+
+    def test_shape_mismatch(self):
+        ring = SliceRing((2, 2))
+        with pytest.raises(ValueError):
+            ring.push(np.zeros((3, 3)))
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            SliceRing((2,), depth=0)
+
+
+class TestPushSemantics:
+    def test_push_copies(self):
+        ring = SliceRing((2,), depth=2)
+        src = np.array([1.0, 2.0])
+        ring.push(src)
+        src[0] = 99.0
+        np.testing.assert_array_equal(ring[0], [1.0, 2.0])
+
+    def test_push_slot_in_place(self):
+        ring = SliceRing((2,), depth=2)
+        slot = ring.push_slot()
+        slot[...] = [7.0, 8.0]
+        np.testing.assert_array_equal(ring[0], [7.0, 8.0])
+
+    def test_window_order(self):
+        ring = SliceRing((1,), depth=3)
+        for i in range(4):
+            ring.push(np.array([float(i)]))
+        vals = [w[0] for w in ring.window()]
+        assert vals == [1.0, 2.0, 3.0]
+
+    def test_reset(self):
+        ring = SliceRing((1,), depth=2)
+        ring.push(np.array([1.0]))
+        ring.reset()
+        assert len(ring) == 0
+
+    def test_nbytes(self):
+        ring = SliceRing((10, 10), depth=6, dtype=np.float64)
+        assert ring.nbytes() == 6 * 100 * 8
+
+
+class TestProperty:
+    @given(
+        depth=st.integers(1, 8),
+        n_push=st.integers(0, 30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_list_semantics(self, depth, n_push):
+        """The ring always exposes the last `depth` pushes, oldest first."""
+        ring = SliceRing((1,), depth=depth)
+        reference = []
+        for i in range(n_push):
+            ring.push(np.array([float(i)]))
+            reference.append(float(i))
+        live = reference[-depth:]
+        assert len(ring) == len(live)
+        for j, val in enumerate(live):
+            assert ring[j][0] == val

@@ -1,0 +1,60 @@
+"""Tests for the reproduction scorecard (repro.perf.scorecard)."""
+
+import pytest
+
+from repro.perf.scorecard import (
+    ScorecardRow,
+    format_scorecard,
+    reproduction_scorecard,
+    scorecard_ok,
+)
+
+
+class TestRows:
+    def test_every_row_within_tolerance(self):
+        """The headline regression gate: every published number must be
+        reproduced within its stated tolerance."""
+        for row in reproduction_scorecard():
+            assert row.within_tolerance, (
+                f"{row.quantity}: paper {row.paper} vs model {row.model} "
+                f"({100 * row.deviation:+.1f} %, tol "
+                f"{100 * row.tolerance:.0f} %)"
+            )
+
+    def test_scorecard_ok(self):
+        assert scorecard_ok()
+
+    def test_covers_all_performance_tables(self):
+        names = " ".join(r.quantity for r in reproduction_scorecard())
+        for needle in ("PFLOP/s", "OI", "issue bound", "fusion",
+                       "Piz Daint", "Monte Rosa", "throughput",
+                       "ridge", "overlap", "dump"):
+            assert needle in names
+
+    def test_row_count_substantial(self):
+        assert len(reproduction_scorecard()) >= 20
+
+
+class TestRowMechanics:
+    def test_deviation(self):
+        row = ScorecardRow("x", paper=10.0, model=11.0)
+        assert row.deviation == pytest.approx(0.1)
+        assert row.within_tolerance  # default tol 0.10
+
+    def test_out_of_tolerance(self):
+        row = ScorecardRow("x", paper=10.0, model=12.0, tolerance=0.1)
+        assert not row.within_tolerance
+
+    def test_zero_paper_value(self):
+        row = ScorecardRow("x", paper=0.0, model=1.0)
+        assert not row.within_tolerance
+
+
+class TestFormatting:
+    def test_renders(self):
+        text = format_scorecard()
+        assert "Reproduction scorecard" in text
+        # Every row's ok column must read "yes" (the word "NO" only ever
+        # appears inside "WENO", so check the column values directly).
+        ok_values = [line.split()[-1] for line in text.splitlines()[3:]]
+        assert ok_values and all(v == "yes" for v in ok_values)

@@ -1,0 +1,88 @@
+"""Tests for the Morton space-filling curve (repro.node.sfc)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.node.sfc import (
+    MAX_BITS,
+    locality_score,
+    morton_decode,
+    morton_encode,
+    morton_order,
+)
+
+
+class TestEncodeDecode:
+    def test_origin(self):
+        assert morton_encode(0, 0, 0) == 0
+
+    def test_unit_steps(self):
+        # x is the least significant dimension, then y, then z.
+        assert morton_encode(0, 0, 1) == 1
+        assert morton_encode(0, 1, 0) == 2
+        assert morton_encode(1, 0, 0) == 4
+
+    def test_known_value(self):
+        # (z, y, x) = (1, 1, 1) interleaves to 0b111.
+        assert morton_encode(1, 1, 1) == 7
+
+    @given(
+        z=st.integers(0, 2**MAX_BITS - 1),
+        y=st.integers(0, 2**MAX_BITS - 1),
+        x=st.integers(0, 2**MAX_BITS - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip(self, z, y, x):
+        zd, yd, xd = morton_decode(morton_encode(z, y, x))
+        assert (int(zd), int(yd), int(xd)) == (z, y, x)
+
+    def test_vectorized(self, rng):
+        coords = rng.integers(0, 1000, size=(50, 3))
+        keys = morton_encode(coords[:, 0], coords[:, 1], coords[:, 2])
+        z, y, x = morton_decode(keys)
+        np.testing.assert_array_equal(np.stack([z, y, x], axis=1), coords)
+
+    def test_injective_on_grid(self):
+        zz, yy, xx = np.meshgrid(range(8), range(8), range(8), indexing="ij")
+        keys = morton_encode(zz.ravel(), yy.ravel(), xx.ravel())
+        assert len(np.unique(keys)) == 512
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            morton_encode(2**MAX_BITS, 0, 0)
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            morton_encode(-1, 0, 0)
+
+
+class TestOrdering:
+    def test_order_is_permutation(self):
+        idx = np.array(
+            [(z, y, x) for z in range(4) for y in range(4) for x in range(4)]
+        )
+        order = morton_order(idx)
+        assert sorted(order.tolist()) == list(range(64))
+
+    def test_first_octant_first(self):
+        """All blocks of the low octant precede any of the high octant."""
+        idx = np.array(
+            [(z, y, x) for z in range(4) for y in range(4) for x in range(4)]
+        )
+        order = morton_order(idx)
+        seq = idx[order]
+        low = np.where((seq < 2).all(axis=1))[0]
+        assert low.max() == 7  # the 8 low-octant blocks come first
+
+    def test_locality_beats_row_major(self):
+        """Mean jump distance of the Morton traversal of a cube is no
+        worse than row-major order (the reordering payoff of Section 5)."""
+        B = 8
+        idx = np.array(
+            [(z, y, x) for z in range(B) for y in range(B) for x in range(B)]
+        )
+        morton = locality_score(morton_order(idx), idx)
+        row_major = locality_score(np.arange(len(idx)), idx)
+        assert morton <= row_major + 1e-12

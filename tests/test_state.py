@@ -1,0 +1,96 @@
+"""Unit tests for repro.physics.state (quantity layout, AoS/SoA)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics.state import (
+    ADVECTED,
+    CONSERVED,
+    ENERGY,
+    GAMMA,
+    NAMES,
+    NQ,
+    PI,
+    RHO,
+    RHOU,
+    RHOV,
+    RHOW,
+    aos_to_soa,
+    soa_to_aos,
+    zeros_aos,
+)
+
+
+class TestLayout:
+    def test_quantity_count(self):
+        assert NQ == 7
+
+    def test_indices_distinct_and_dense(self):
+        idx = [RHO, RHOU, RHOV, RHOW, ENERGY, GAMMA, PI]
+        assert sorted(idx) == list(range(NQ))
+
+    def test_conserved_advected_partition(self):
+        assert set(CONSERVED) | set(ADVECTED) == set(range(NQ))
+        assert not set(CONSERVED) & set(ADVECTED)
+
+    def test_names_match(self):
+        assert len(NAMES) == NQ
+        assert NAMES[RHO] == "rho"
+        assert NAMES[GAMMA] == "Gamma"
+
+
+class TestZerosAos:
+    def test_shape_and_dtype(self):
+        a = zeros_aos((4, 5, 6))
+        assert a.shape == (4, 5, 6, NQ)
+        assert a.dtype == np.float32
+        assert not a.any()
+
+    def test_custom_dtype(self):
+        a = zeros_aos((2, 2, 2), dtype=np.float64)
+        assert a.dtype == np.float64
+
+
+class TestConversions:
+    def test_roundtrip(self, rng):
+        aos = rng.normal(size=(3, 4, 5, NQ))
+        soa = aos_to_soa(aos)
+        assert soa.shape == (NQ, 3, 4, 5)
+        back = soa_to_aos(soa, dtype=np.float64)
+        np.testing.assert_array_equal(back, aos)
+
+    def test_soa_contiguous(self, rng):
+        soa = aos_to_soa(rng.normal(size=(4, 4, 4, NQ)))
+        assert soa.flags["C_CONTIGUOUS"]
+
+    def test_quantity_mapping(self, rng):
+        aos = rng.normal(size=(2, 2, 2, NQ))
+        soa = aos_to_soa(aos)
+        for q in range(NQ):
+            np.testing.assert_array_equal(soa[q], aos[..., q])
+
+    def test_aos_wrong_trailing_axis(self):
+        with pytest.raises(ValueError, match="trailing axis"):
+            aos_to_soa(np.zeros((3, 3, 3, NQ + 1)))
+
+    def test_soa_wrong_leading_axis(self):
+        with pytest.raises(ValueError, match="leading axis"):
+            soa_to_aos(np.zeros((NQ - 1, 3, 3, 3)))
+
+    @given(
+        nz=st.integers(1, 6), ny=st.integers(1, 6), nx=st.integers(1, 6),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, nz, ny, nx, seed):
+        aos = np.random.default_rng(seed).normal(size=(nz, ny, nx, NQ))
+        np.testing.assert_array_equal(
+            soa_to_aos(aos_to_soa(aos), dtype=np.float64), aos
+        )
+
+    def test_downcast_on_store(self, rng):
+        soa = rng.normal(size=(NQ, 2, 2, 2))
+        aos32 = soa_to_aos(soa)  # default storage dtype
+        assert aos32.dtype == np.float32

@@ -1,0 +1,77 @@
+"""Tests for the parameter-study harness (repro.sim.study)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cloud import Bubble
+from repro.sim.config import SimulationConfig
+from repro.sim.ic import cloud_collapse
+from repro.sim.study import SweepPoint, SweepResult, run_sweep
+
+
+def tiny_config(**kw):
+    defaults = dict(cells=16, block_size=8, max_steps=4, wall=(0, -1),
+                    diag_interval=1)
+    defaults.update(kw)
+    return SimulationConfig(**defaults)
+
+
+class TestRunSweep:
+    def test_two_point_sweep(self):
+        configs = [
+            (
+                f"r={r}",
+                {"radius": r},
+                tiny_config(),
+                cloud_collapse([Bubble((0.5, 0.5, 0.5), r)], p_liquid=1000.0),
+            )
+            for r in (0.15, 0.25)
+        ]
+        result = run_sweep(configs)
+        assert len(result.points) == 2
+        p_small, p_big = result.points
+        assert p_small.label == "r=0.15"
+        assert p_big.parameters["radius"] == 0.25
+        assert p_big.steps == 4
+        # More vapor => more collapse-driven kinetic energy, even early.
+        assert p_big.ke_peak > p_small.ke_peak
+
+    def test_summary_fields_finite(self):
+        configs = [
+            (
+                "x", {},
+                tiny_config(),
+                cloud_collapse([Bubble((0.5, 0.5, 0.5), 0.2)], p_liquid=1000.0),
+            )
+        ]
+        point = run_sweep(configs).points[0]
+        assert np.isfinite(point.peak_flow_pressure)
+        assert np.isfinite(point.peak_wall_pressure)
+        assert 0.0 <= point.vapor_collapse_fraction <= 1.0
+        assert point.amplification(1000.0) == pytest.approx(
+            point.peak_wall_pressure / 1000.0
+        )
+
+
+class TestCsv:
+    def test_roundtrip_columns(self):
+        result = SweepResult(points=[
+            SweepPoint("a", {"beta": 1.5}, 10.0, 5.0, 1.0, 0.1, 0.3, 7),
+            SweepPoint("b", {"beta": 3.0}, 20.0, 9.0, 2.0, 0.2, 0.5, 9),
+        ])
+        csv_text = result.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("label,param_beta,")
+        assert len(lines) == 3
+        assert lines[1].split(",")[0] == "a"
+
+    def test_empty(self):
+        assert SweepResult().to_csv() == ""
+
+    def test_heterogeneous_parameters(self):
+        result = SweepResult(points=[
+            SweepPoint("a", {"x": 1}, 1, 1, 1, 1, 0, 1),
+            SweepPoint("b", {"y": 2}, 1, 1, 1, 1, 0, 1),
+        ])
+        lines = result.to_csv().strip().splitlines()
+        assert "param_x" in lines[0] and "param_y" in lines[0]

@@ -1,0 +1,88 @@
+"""Tests for the low-storage time integrators (repro.core.timestepper)."""
+
+import numpy as np
+import pytest
+
+from repro.core.timestepper import (
+    ForwardEuler,
+    LowStorageRK3,
+    make_stepper,
+)
+
+
+class TestCoefficients:
+    def test_rk3_williamson_values(self):
+        s = LowStorageRK3.stages
+        assert [st.a for st in s] == [0.0, -5.0 / 9.0, -153.0 / 128.0]
+        assert [st.b for st in s] == [1.0 / 3.0, 15.0 / 16.0, 8.0 / 15.0]
+
+    def test_first_stage_has_zero_a(self):
+        """a_0 = 0 means the register needs no reset between steps."""
+        assert LowStorageRK3.stages[0].a == 0.0
+        assert ForwardEuler.stages[0].a == 0.0
+
+    def test_consistency_order1(self):
+        """Sum over stages of b_k * prod of downstream contributions must
+        integrate dU/dt = const exactly: U(dt) = U0 + dt for RHS == 1."""
+        for stepper in (LowStorageRK3(), ForwardEuler()):
+            U = np.array([0.0])
+            out = stepper.advance(U, lambda u: np.ones_like(u), dt=1.0)
+            assert out[0] == pytest.approx(1.0, rel=1e-13)
+
+
+class TestConvergence:
+    def _error(self, stepper, dt):
+        """Integrate dU/dt = -U over [0, 1]; compare with exp(-1)."""
+        steps = int(round(1.0 / dt))
+        U = np.array([1.0])
+        for _ in range(steps):
+            U = stepper.advance(U, lambda u: -u, dt)
+        return abs(U[0] - np.exp(-1.0))
+
+    def test_rk3_third_order(self):
+        s = LowStorageRK3()
+        e1 = self._error(s, 0.1)
+        e2 = self._error(s, 0.05)
+        order = np.log2(e1 / e2)
+        assert order == pytest.approx(3.0, abs=0.25)
+
+    def test_euler_first_order(self):
+        s = ForwardEuler()
+        e1 = self._error(s, 0.01)
+        e2 = self._error(s, 0.005)
+        order = np.log2(e1 / e2)
+        assert order == pytest.approx(1.0, abs=0.15)
+
+    def test_rk3_beats_euler(self):
+        assert self._error(LowStorageRK3(), 0.05) < self._error(
+            ForwardEuler(), 0.05
+        ) / 100.0
+
+    def test_nonlinear_rhs(self):
+        """dU/dt = U^2, U0 = 1 over [0, 0.5]: exact is 1/(1-t)."""
+        s = LowStorageRK3()
+        dt = 1e-3
+        U = np.array([1.0])
+        for _ in range(500):
+            U = s.advance(U, lambda u: u * u, dt)
+        assert U[0] == pytest.approx(2.0, rel=1e-6)
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_stepper("rk3"), LowStorageRK3)
+        assert isinstance(make_stepper("rk3-williamson"), LowStorageRK3)
+        assert isinstance(make_stepper("euler"), ForwardEuler)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown time stepper"):
+            make_stepper("rk4")
+
+    def test_orders(self):
+        assert make_stepper("rk3").order == 3
+        assert make_stepper("euler").order == 1
+
+    def test_advance_does_not_mutate_input(self):
+        U = np.ones(3)
+        make_stepper("rk3").advance(U, lambda u: -u, 0.1)
+        np.testing.assert_array_equal(U, 1.0)

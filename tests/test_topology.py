@@ -1,0 +1,107 @@
+"""Tests for the cartesian process topology (repro.cluster.topology)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import CartTopology, balanced_dims
+
+
+class TestBalancedDims:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [
+            (1, (1, 1, 1)),
+            (2, (2, 1, 1)),
+            (4, (2, 2, 1)),
+            (8, (2, 2, 2)),
+            (12, (3, 2, 2)),
+            (27, (3, 3, 3)),
+            (64, (4, 4, 4)),
+        ],
+    )
+    def test_known(self, size, expected):
+        assert balanced_dims(size) == expected
+
+    @given(size=st.integers(1, 4096))
+    @settings(max_examples=100, deadline=None)
+    def test_product_and_balance(self, size):
+        dims = balanced_dims(size)
+        assert dims[0] * dims[1] * dims[2] == size
+        assert dims[0] >= dims[1] >= dims[2]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            balanced_dims(0)
+
+
+class TestCoords:
+    def test_roundtrip_all_ranks(self):
+        topo = CartTopology((2, 3, 4))
+        for r in range(topo.size):
+            assert topo.rank_of(topo.coords(r)) == r
+
+    def test_row_major_order(self):
+        topo = CartTopology((2, 2, 2))
+        assert topo.coords(0) == (0, 0, 0)
+        assert topo.coords(1) == (0, 0, 1)
+        assert topo.coords(2) == (0, 1, 0)
+        assert topo.coords(4) == (1, 0, 0)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            CartTopology((2, 2, 2)).coords(8)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            CartTopology((0, 1, 1))
+
+
+class TestNeighbors:
+    def test_interior(self):
+        topo = CartTopology((3, 3, 3))
+        center = topo.rank_of((1, 1, 1))
+        assert topo.neighbor(center, 0, 1) == topo.rank_of((2, 1, 1))
+        assert topo.neighbor(center, 2, -1) == topo.rank_of((1, 1, 0))
+
+    def test_non_periodic_boundary(self):
+        topo = CartTopology((2, 2, 2))
+        assert topo.neighbor(0, 0, -1) is None
+        assert topo.is_domain_boundary(0, 0, -1)
+
+    def test_periodic_wrap(self):
+        topo = CartTopology((2, 2, 2), periodic=(True, False, False))
+        assert topo.neighbor(0, 0, -1) == topo.rank_of((1, 0, 0))
+        assert topo.neighbor(0, 1, -1) is None
+
+    def test_neighbors_dict_complete(self):
+        topo = CartTopology((2, 2, 2))
+        n = topo.neighbors(0)
+        assert set(n) == {(a, s) for a in range(3) for s in (-1, 1)}
+
+    def test_self_neighbor_single_rank_periodic(self):
+        topo = CartTopology((1, 1, 1), periodic=(True, True, True))
+        for a in range(3):
+            for s in (-1, 1):
+                assert topo.neighbor(0, a, s) == 0
+
+
+class TestSubdomains:
+    def test_partition_covers_domain(self):
+        topo = CartTopology((2, 2, 2))
+        seen = set()
+        for r in range(8):
+            starts, counts = topo.subdomain_blocks(r, (4, 4, 4))
+            assert counts == (2, 2, 2)
+            for dz in range(2):
+                for dy in range(2):
+                    for dx in range(2):
+                        seen.add(
+                            (starts[0] + dz, starts[1] + dy, starts[2] + dx)
+                        )
+        assert len(seen) == 64
+
+    def test_indivisible_raises(self):
+        topo = CartTopology((2, 1, 1))
+        with pytest.raises(ValueError, match="not divisible"):
+            topo.subdomain_blocks(0, (3, 2, 2))

@@ -1,0 +1,121 @@
+"""Tests for visualization artifacts (repro.sim.visualization)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cloud import Bubble
+from repro.sim.ic import cloud_collapse
+from repro.sim.visualization import (
+    ascii_render,
+    field_slice,
+    interface_statistics,
+    load_pgm,
+    save_pgm,
+)
+
+
+def bubble_field(n=32, bubbles=None):
+    c = (np.arange(n) + 0.5) / n
+    bubbles = bubbles or [Bubble((0.5, 0.5, 0.5), 0.25)]
+    return cloud_collapse(bubbles)(
+        c[:, None, None], c[None, :, None], c[None, None, :]
+    ).astype(np.float32)
+
+
+class TestSlices:
+    def test_pressure_slice(self):
+        f = bubble_field()
+        s = field_slice(f, axis=0, quantity="p")
+        assert s.shape == (32, 32)
+        assert s[16, 16] == pytest.approx(0.0234, rel=1e-4)
+        assert s[0, 0] == pytest.approx(100.0, rel=1e-4)
+
+    def test_alpha_slice(self):
+        s = field_slice(bubble_field(), axis=2, quantity="alpha")
+        assert 0.0 <= s.min() and s.max() <= 1.0
+        assert s[16, 16] == pytest.approx(1.0, abs=1e-5)
+
+    def test_rho_slice_explicit_index(self):
+        s = field_slice(bubble_field(), axis=1, index=0, quantity="rho")
+        np.testing.assert_allclose(s, 1000.0, rtol=1e-5)
+
+    def test_unknown_quantity(self):
+        with pytest.raises(ValueError):
+            field_slice(bubble_field(), quantity="vorticity")
+
+
+class TestAscii:
+    def test_shape(self):
+        art = ascii_render(np.eye(8))
+        lines = art.splitlines()
+        assert len(lines) == 8
+        assert all(len(line) == 8 for line in lines)
+
+    def test_extremes_map_to_ramp_ends(self):
+        art = ascii_render(np.array([[0.0, 1.0]]))
+        assert art[0] == " " and art[-1] == "@"
+
+    def test_constant_field(self):
+        art = ascii_render(np.full((3, 3), 5.0))
+        assert set(art.replace("\n", "")) == {" "}
+
+
+class TestPgm:
+    def test_roundtrip(self, tmp_path, rng):
+        data = rng.random((12, 20))
+        path = save_pgm(str(tmp_path / "x.pgm"), data)
+        back = load_pgm(path)
+        assert back.shape == (12, 20)
+        # Quantized to 8 bits.
+        np.testing.assert_allclose(back / 255.0, (data - data.min()) /
+                                   (data.max() - data.min()), atol=1 / 255.0)
+
+    def test_bad_magic(self, tmp_path):
+        p = tmp_path / "bad.pgm"
+        p.write_bytes(b"P2\n1 1\n255\n0")
+        with pytest.raises(ValueError):
+            load_pgm(str(p))
+
+
+class TestInterfaceStatistics:
+    def test_single_sphere(self):
+        f = bubble_field(32, [Bubble((0.5, 0.5, 0.5), 0.25)])
+        shapes = interface_statistics(f, h=1 / 32)
+        assert len(shapes) == 1
+        s = shapes[0]
+        # Sphere: near-unit sphericity, centroid at the middle.
+        assert s.sphericity > 0.9
+        for c in s.centroid:
+            assert c == pytest.approx(0.5, abs=0.05)
+        # Volume ~ (4/3) pi r^3 => cells ~ that / h^3.
+        expected = 4.0 / 3.0 * np.pi * 0.25**3 * 32**3
+        assert s.cells == pytest.approx(expected, rel=0.15)
+
+    def test_two_bubbles(self):
+        f = bubble_field(
+            32,
+            [Bubble((0.3, 0.3, 0.3), 0.12), Bubble((0.7, 0.7, 0.7), 0.18)],
+        )
+        shapes = interface_statistics(f, h=1 / 32)
+        assert len(shapes) == 2
+        assert shapes[0].cells > shapes[1].cells  # sorted largest first
+
+    def test_deformation_detected(self):
+        """An ellipsoidal region reports sphericity << 1."""
+        n = 32
+        c = (np.arange(n) + 0.5) / n
+        z, y, x = np.meshgrid(c, c, c, indexing="ij")
+        ellipse = ((z - 0.5) / 0.3) ** 2 + ((y - 0.5) / 0.1) ** 2 + (
+            (x - 0.5) / 0.1
+        ) ** 2 <= 1.0
+        f = bubble_field(n, [Bubble((0.5, 0.5, 0.5), 0.05)])
+        # Overwrite Gamma to make the ellipse vapor.
+        from repro.physics.eos import LIQUID, VAPOR
+
+        f[..., 5] = np.where(ellipse, VAPOR.G, LIQUID.G).astype(np.float32)
+        shapes = interface_statistics(f, h=1 / n)
+        assert shapes[0].sphericity < 0.5
+
+    def test_no_vapor(self):
+        f = bubble_field(16, [Bubble((2.0, 2.0, 2.0), 0.01)])  # outside
+        assert interface_statistics(f, h=1 / 16) == []

@@ -1,0 +1,146 @@
+"""Tests for the interpolating wavelet transform (repro.compression.wavelet)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.wavelet import (
+    PREDICT_GAIN,
+    detail_mask,
+    fwt1d_level,
+    fwt3d,
+    iwt1d_level,
+    iwt3d,
+    iwt3d_abs,
+    level_of_coefficient,
+    max_levels,
+)
+
+
+class TestMaxLevels:
+    @pytest.mark.parametrize("n,expected", [(8, 1), (16, 2), (32, 3), (64, 4),
+                                            (7, 0), (12, 1), (24, 2), (4, 0)])
+    def test_values(self, n, expected):
+        assert max_levels(n) == expected
+
+
+class Test1D:
+    def test_roundtrip_exact(self, rng):
+        x = rng.normal(size=(5, 32))
+        np.testing.assert_allclose(iwt1d_level(fwt1d_level(x)), x, rtol=1e-13)
+
+    def test_layout(self, rng):
+        x = rng.normal(size=16)
+        c = fwt1d_level(x)
+        np.testing.assert_array_equal(c[:8], x[0::2])  # scaling = evens
+
+    def test_cubic_annihilation_interior(self):
+        """Interior details of a cubic signal vanish (4th-order predict)."""
+        x = np.arange(32.0)
+        poly = 0.5 * x**3 - 2 * x**2 + x - 7
+        c = fwt1d_level(poly)
+        details = c[16:]
+        # All but the last (mirror-stencil) detail must vanish.
+        np.testing.assert_allclose(details[:-1], 0.0, atol=1e-9)
+
+    def test_constant_annihilation_everywhere(self):
+        c = fwt1d_level(np.full(16, 3.3))
+        np.testing.assert_allclose(c[8:], 0.0, atol=1e-12)
+
+    def test_odd_length_raises(self):
+        with pytest.raises(ValueError):
+            fwt1d_level(np.zeros(15))
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            fwt1d_level(np.zeros(6))
+
+    def test_predict_gain_constant(self):
+        assert PREDICT_GAIN == pytest.approx(1.25)
+
+
+class Test3D:
+    def test_roundtrip_float64(self, rng):
+        x = rng.normal(size=(16, 16, 16))
+        for levels in (0, 1):
+            np.testing.assert_allclose(
+                iwt3d(fwt3d(x, levels), levels), x, rtol=1e-12, atol=1e-12
+            )
+
+    def test_roundtrip_float32(self, rng):
+        x = rng.normal(size=(32, 32, 32)).astype(np.float32)
+        err = np.abs(iwt3d(fwt3d(x, 3), 3) - x).max()
+        assert err < 1e-4  # float32 round-off through 3 levels
+
+    def test_anisotropic_shapes(self, rng):
+        x = rng.normal(size=(8, 16, 32))
+        c = fwt3d(x, 1)
+        np.testing.assert_allclose(iwt3d(c, 1), x, rtol=1e-12)
+
+    def test_default_levels(self, rng):
+        x = rng.normal(size=(16, 16, 16))
+        np.testing.assert_allclose(iwt3d(fwt3d(x)), x, rtol=1e-12, atol=1e-12)
+
+    def test_coarse_corner_is_subsampled_signal(self, rng):
+        x = rng.normal(size=(8, 8, 8))
+        c = fwt3d(x, 1)
+        np.testing.assert_array_equal(c[:4, :4, :4], x[0::2, 0::2, 0::2])
+
+    def test_too_many_levels(self):
+        with pytest.raises(ValueError):
+            fwt3d(np.zeros((8, 8, 8)), 2)
+
+    def test_non_3d_raises(self):
+        with pytest.raises(ValueError):
+            fwt3d(np.zeros((8, 8)))
+
+    @given(seed=st.integers(0, 2**31), levels=st.integers(0, 2))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, seed, levels):
+        x = np.random.default_rng(seed).normal(size=(16, 16, 16))
+        np.testing.assert_allclose(
+            iwt3d(fwt3d(x, levels), levels), x, rtol=1e-11, atol=1e-11
+        )
+
+    def test_smooth_field_details_small(self):
+        """A field smooth on the interval has details tiny next to its
+        range (the de-correlation the compression scheme relies on)."""
+        t = np.linspace(-1.0, 1.0, 32)
+        g = np.exp(-4.0 * t**2)
+        f = g[:, None, None] * g[None, :, None] * g[None, None, :]
+        c = fwt3d(f, 2)
+        mask = detail_mask(f.shape, 2)
+        assert np.abs(c[mask]).max() < 0.02 * (f.max() - f.min())
+
+
+class TestMasks:
+    def test_detail_mask_counts(self):
+        m = detail_mask((16, 16, 16), 2)
+        assert m.sum() == 16**3 - 4**3
+        assert not m[:4, :4, :4].any()
+
+    def test_zero_levels(self):
+        m = detail_mask((8, 8, 8), 0)
+        assert not m.any()  # no transform -> no detail coefficients
+
+    def test_level_of_coefficient_partition(self):
+        lvl = level_of_coefficient((16, 16, 16), 2)
+        assert (lvl == -1).sum() == 4**3  # coarse corner
+        assert (lvl == 0).sum() == 8**3 - 4**3
+        assert (lvl == 1).sum() == 16**3 - 8**3
+
+
+class TestAbsTransform:
+    def test_monotone_bound(self, rng):
+        """iwt3d_abs of |c| bounds |iwt3d| of any same-magnitude field."""
+        c = rng.normal(size=(16, 16, 16))
+        mask = detail_mask(c.shape, 1)
+        coeffs = np.where(mask, c, 0.0)
+        bound = iwt3d_abs(np.abs(coeffs), 1)
+        actual = np.abs(iwt3d(coeffs, 1))
+        assert (actual <= bound + 1e-9).all()
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            iwt3d_abs(np.full((8, 8, 8), -1.0), 1)
