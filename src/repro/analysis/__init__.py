@@ -1,0 +1,71 @@
+"""Solver-aware static analysis and runtime numerics sanitation.
+
+The paper's performance story rests on contracts this package enforces by
+machine instead of by convention:
+
+* **mixed precision** -- float32 AoS block *storage*, float64 SoA
+  *compute* (paper Section 5), expressed through ``STORAGE_DTYPE`` /
+  ``COMPUTE_DTYPE`` in :mod:`repro.physics.state`;
+* **stencil geometry** -- the WENO5 ghost width of exactly
+  :data:`repro.core.block.GHOSTS` cells and the 6-slice ring buffers of
+  :data:`repro.core.ringbuffer.RING_DEPTH`;
+* **numerical sanity** -- the quasi-conservative (Gamma, Pi) advection
+  must never produce NaN/Inf, negative density or negative pressure
+  mid-collapse.
+
+Two halves:
+
+* :mod:`repro.analysis.lint` + :mod:`repro.analysis.rules` --
+  ``cubism-lint``, an AST-based checker with a pluggable rule registry
+  (rules CL001..CL008) and ``# lint: disable=RULE`` pragmas.  Run it as
+  ``python -m repro.analysis src/repro`` (or the ``cubism-lint`` script).
+* :mod:`repro.analysis.sanitizer` -- :class:`NumericsSanitizer`, a
+  runtime checker with an off / warn / raise policy that hooks into the
+  core kernels, the time stepper and the cluster driver, accumulating a
+  per-run :class:`ViolationReport`.
+
+See ``docs/analysis.md`` for the full rule catalogue and usage.
+"""
+
+from __future__ import annotations
+
+from .lint import (
+    LintConfig,
+    Rule,
+    SourceFile,
+    Violation,
+    format_violations,
+    lint_paths,
+    lint_source,
+    registered_rules,
+)
+from .sanitizer import (
+    POLICIES,
+    NumericsSanitizer,
+    NumericsViolation,
+    NumericsViolationError,
+    NumericsWarning,
+    ViolationReport,
+    make_sanitizer,
+)
+
+# Importing the rule catalogue populates the registry as a side effect.
+from . import rules as _rules  # noqa: F401  (registry population)
+
+__all__ = [
+    "LintConfig",
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "format_violations",
+    "lint_paths",
+    "lint_source",
+    "registered_rules",
+    "POLICIES",
+    "NumericsSanitizer",
+    "NumericsViolation",
+    "NumericsViolationError",
+    "NumericsWarning",
+    "ViolationReport",
+    "make_sanitizer",
+]

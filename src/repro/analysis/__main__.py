@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` -- run the solver-aware linter."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,108 @@
+"""Command-line front end of ``cubism-lint``.
+
+Usage::
+
+    python -m repro.analysis src/repro          # lint the solver tree
+    python -m repro.analysis --list-rules       # print the rule catalogue
+    cubism-lint src/repro --select CL001,CL002  # installed entry point
+
+Exit codes: 0 clean, 1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .lint import LintConfig, format_violations, lint_paths, registered_rules
+
+# Importing the catalogue populates the registry.
+from . import rules as _rules  # noqa: F401  (registry population)
+
+
+def _rule_set(spec: str | None) -> frozenset[str] | None:
+    if spec is None:
+        return None
+    return frozenset(r.strip() for r in spec.split(",") if r.strip())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser of the lint CLI."""
+    ap = argparse.ArgumentParser(
+        prog="cubism-lint",
+        description="Solver-aware lint enforcing the repo's precision, "
+        "stencil and conservation contracts.",
+    )
+    ap.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    ap.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    ap.add_argument(
+        "--ignore", metavar="RULES", default="",
+        help="comma-separated rule ids to skip",
+    )
+    ap.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    ap.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the summary line, print violations only",
+    )
+    return ap
+
+
+def list_rules() -> str:
+    """Returns the formatted rule catalogue (id, name, scope, summary)."""
+    lines = []
+    for cls in registered_rules():
+        scope = ", ".join(cls.default_paths) if cls.default_paths else "all files"
+        lines.append(f"{cls.rule_id}  {cls.name}  [{scope}]")
+        lines.append(f"       {cls.description}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+
+    select = _rule_set(args.select)
+    ignore = _rule_set(args.ignore) or frozenset()
+    known = {cls.rule_id for cls in registered_rules()}
+    unknown = ((select or frozenset()) | ignore) - known
+    if unknown:
+        print(
+            f"cubism-lint: unknown rule id(s): {', '.join(sorted(unknown))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    config = LintConfig(select=select, ignore=ignore)
+    try:
+        violations = lint_paths(args.paths, config)
+    except OSError as exc:
+        print(f"cubism-lint: {exc}", file=sys.stderr)
+        return 2
+    if violations:
+        print(format_violations(violations))
+        if not args.quiet:
+            print(
+                f"\n{len(violations)} violation(s) in "
+                f"{len({v.path for v in violations})} file(s)",
+                file=sys.stderr,
+            )
+        return 1
+    if not args.quiet:
+        print("cubism-lint: clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

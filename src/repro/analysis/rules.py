@@ -1,0 +1,437 @@
+"""The ``cubism-lint`` rule catalogue (CL001..CL008).
+
+Each rule encodes one contract the paper's solver design depends on;
+the docstrings below are the normative description (also surfaced by
+``python -m repro.analysis --list-rules``).  Path scopes are the
+defaults tuned to this repository -- override them through
+:class:`repro.analysis.lint.LintConfig`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from .lint import Rule, SourceFile, Violation, register_rule
+
+#: Quantity-dtype constants that code must reference instead of raw
+#: numpy dtypes (defined in :mod:`repro.physics.state`).
+DTYPE_CONSTANTS = ("STORAGE_DTYPE", "COMPUTE_DTYPE")
+
+#: Attribute names of raw numpy float dtypes covered by CL001.
+_RAW_FLOAT_ATTRS = {"float32", "float64", "single", "double", "half", "float16"}
+
+#: Dtype spellings that indicate a downcast on a compute path (CL003).
+_LOWER_PRECISION = {"float32", "single", "half", "float16", "STORAGE_DTYPE"}
+
+#: Ghost-width literals that must be derived from GHOSTS (CL002).
+_GHOST_LITERALS = {3, 6}
+
+#: Docstring tokens accepted as return-contract documentation (CL006).
+_RETURN_DOC_RE = re.compile(r"(?i)\breturn|shape|dtype|->")
+
+#: Logging-ish call names that make a broad handler acceptable (CL005).
+_LOG_CALLS = {
+    "warn", "warning", "error", "exception", "critical", "debug",
+    "info", "log", "print",
+}
+
+
+def _is_np_attr(node: ast.AST, attrs: set[str]) -> bool:
+    """Is ``node`` an ``np.<attr>`` / ``numpy.<attr>`` access in ``attrs``?"""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr in attrs
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )
+
+
+@register_rule
+class NoRawFloatDtypes(Rule):
+    """CL001: no raw ``np.float32`` / ``np.float64`` dtype literals.
+
+    Storage/compute precision is a single global contract
+    (``STORAGE_DTYPE`` / ``COMPUTE_DTYPE`` in ``repro.physics.state``,
+    paper Section 5's mixed-precision scheme); naming the numpy dtype
+    inline re-decides that contract locally and is how silent downcasts
+    are born.  Scope: solver layers; ``compression/`` and ``sim/``
+    diagnostics are exempt by configuration.
+    """
+
+    rule_id = "CL001"
+    name = "raw-float-dtype"
+    description = (
+        "use STORAGE_DTYPE/COMPUTE_DTYPE from repro.physics.state instead "
+        "of raw np.float32/np.float64"
+    )
+    default_paths = ("core/", "node/", "cluster/", "physics/", "repro/cli.py")
+
+    def check(self, source: SourceFile) -> Iterable[Violation]:
+        for node in ast.walk(source.tree):
+            if _is_np_attr(node, _RAW_FLOAT_ATTRS):
+                yield self.violation(
+                    source,
+                    node,
+                    f"raw dtype np.{node.attr}; use "
+                    "STORAGE_DTYPE/COMPUTE_DTYPE from repro.physics.state",
+                )
+
+
+@register_rule
+class NoHardcodedGhostWidth(Rule):
+    """CL002: no hard-coded ghost widths in stencil slicing.
+
+    The WENO5 stencil needs exactly ``GHOSTS`` (3) ghost cells per side
+    and ``2 * GHOSTS`` (6) of padding; slicing with the literals keeps
+    working right up until someone changes the reconstruction order.
+    Slice bounds in ``core/`` and ``node/`` must derive from ``GHOSTS``.
+    """
+
+    rule_id = "CL002"
+    name = "hardcoded-ghost-width"
+    description = "stencil slice bounds must derive from GHOSTS, not 3/6"
+    default_paths = ("core/", "node/")
+
+    @staticmethod
+    def _ghost_literal(bound: ast.expr | None) -> ast.Constant | None:
+        """A slice bound that is literally +/-3 or +/-6, else ``None``."""
+        node = bound
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            node = node.operand
+        if isinstance(node, ast.Constant) and node.value in _GHOST_LITERALS:
+            return node
+        return None
+
+    def check(self, source: SourceFile) -> Iterable[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Subscript):
+                continue
+            slices = (
+                node.slice.elts if isinstance(node.slice, ast.Tuple) else [node.slice]
+            )
+            for sl in slices:
+                if not isinstance(sl, ast.Slice):
+                    continue
+                for bound in (sl.lower, sl.upper):
+                    lit = self._ghost_literal(bound)
+                    if lit is not None:
+                        yield self.violation(
+                            source,
+                            lit,
+                            f"hard-coded ghost width {lit.value} in slice; "
+                            "derive it from GHOSTS",
+                        )
+
+
+@register_rule
+class NoComputePathDowncast(Rule):
+    """CL003: no ``.astype`` toward lower precision on compute paths.
+
+    Kernels convert storage blocks to ``COMPUTE_DTYPE`` once on load and
+    down-cast once on the block store (``soa_to_aos`` / in-place
+    assignment).  An ``.astype(np.float32)`` in the middle of a kernel
+    silently truncates the mixed-precision scheme -- the dominant source
+    of wrong-but-plausible results reported by related solvers.
+    """
+
+    rule_id = "CL003"
+    name = "compute-path-downcast"
+    description = "kernels must not .astype() toward lower precision"
+    default_paths = ("core/kernels.py", "physics/")
+
+    @staticmethod
+    def _is_lower_precision(arg: ast.expr) -> bool:
+        if isinstance(arg, ast.Constant) and arg.value in ("float32", "f4", "float16"):
+            return True
+        if isinstance(arg, ast.Name) and arg.id == "STORAGE_DTYPE":
+            return True
+        return _is_np_attr(arg, {"float32", "single", "half", "float16"})
+
+    def check(self, source: SourceFile) -> Iterable[Violation]:
+        for node in ast.walk(source.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+            ):
+                continue
+            args = list(node.args) + [
+                kw.value for kw in node.keywords if kw.arg == "dtype"
+            ]
+            for arg in args:
+                if self._is_lower_precision(arg):
+                    yield self.violation(
+                        source,
+                        node,
+                        "downcast .astype() on a compute path; keep "
+                        "COMPUTE_DTYPE and down-convert only at the block "
+                        "storage write",
+                    )
+
+
+@register_rule
+class NoMutableDefaults(Rule):
+    """CL004: no mutable default arguments.
+
+    A ``def f(x=[])`` default is shared across calls; in a long-running
+    campaign server that is cross-request state leakage.
+    """
+
+    rule_id = "CL004"
+    name = "mutable-default"
+    description = "function defaults must not be mutable (list/dict/set)"
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "dict", "set", "bytearray")
+        )
+
+    def check(self, source: SourceFile) -> Iterable[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for d in defaults:
+                if self._is_mutable(d):
+                    yield self.violation(
+                        source,
+                        d,
+                        f"mutable default argument in {node.name}(); use "
+                        "None and create inside the function",
+                    )
+
+
+@register_rule
+class NoSilentBroadExcept(Rule):
+    """CL005: no bare ``except:`` or silent ``except Exception``.
+
+    A production driver serving many campaign runs must never eat a
+    numerics error silently; broad handlers are allowed only when they
+    re-raise or log/record what they caught.
+    """
+
+    rule_id = "CL005"
+    name = "silent-broad-except"
+    description = "bare/broad except must re-raise or log"
+
+    @staticmethod
+    def _is_broad(handler: ast.ExceptHandler) -> bool:
+        t = handler.type
+        if t is None:
+            return True
+        names = t.elts if isinstance(t, ast.Tuple) else [t]
+        for n in names:
+            if isinstance(n, ast.Name) and n.id in ("Exception", "BaseException"):
+                return True
+        return False
+
+    @staticmethod
+    def _handles_visibly(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                fn = node.func
+                name = fn.attr if isinstance(fn, ast.Attribute) else getattr(fn, "id", "")
+                if name in _LOG_CALLS:
+                    return True
+        return False
+
+    def check(self, source: SourceFile) -> Iterable[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if self._is_broad(node) and not self._handles_visibly(node):
+                kind = "bare except" if node.type is None else "broad except"
+                yield self.violation(
+                    source,
+                    node,
+                    f"{kind} without re-raise or logging hides numerics "
+                    "failures; narrow it or handle visibly",
+                )
+
+
+@register_rule
+class ReturnContractDocumented(Rule):
+    """CL006: public kernel-layer functions document their return contract.
+
+    Every public module-level function in ``physics/`` and ``core/``
+    that returns a value must say *what* comes back -- shape, dtype or
+    an explicit "Returns ..." -- in its docstring.  These are the
+    functions whose array contracts the three solver layers are built
+    on; an undocumented return shape is an interface bug waiting for a
+    refactor.
+    """
+
+    rule_id = "CL006"
+    name = "undocumented-return-contract"
+    description = (
+        "public physics/core functions must document return shape/dtype"
+    )
+    default_paths = ("physics/", "core/")
+
+    @staticmethod
+    def _returns_value(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        """Does the function itself (not nested defs) return a value?"""
+        stack: list[ast.AST] = list(fn.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+                continue
+            if isinstance(node, ast.Return) and node.value is not None:
+                if not (
+                    isinstance(node.value, ast.Constant)
+                    and node.value.value is None
+                ):
+                    return True
+            stack.extend(ast.iter_child_nodes(node))
+        return False
+
+    def check(self, source: SourceFile) -> Iterable[Violation]:
+        for node in source.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if not self._returns_value(node):
+                continue
+            doc = ast.get_docstring(node)
+            if doc is None or not _RETURN_DOC_RE.search(doc):
+                yield self.violation(
+                    source,
+                    node,
+                    f"public function {node.name}() returns a value but its "
+                    "docstring documents no return shape/dtype contract",
+                )
+
+
+@register_rule
+class NoUninitializedRead(Rule):
+    """CL007: ``np.empty`` arrays must be written before they are read.
+
+    ``np.empty`` hands back whatever bytes the allocator had; reading it
+    before full assignment is a non-deterministic-garbage hazard.  The
+    check is a conservative first-use analysis: after
+    ``x = np.empty(...)`` the first reference to ``x`` must be a store
+    (``x[...] = ``, an ``out=x`` keyword, or passing ``x`` to a filling
+    routine) -- an arithmetic / reduction / return use first is flagged.
+    """
+
+    rule_id = "CL007"
+    name = "uninitialized-read"
+    description = "np.empty result read before assignment"
+
+    @staticmethod
+    def _empty_assigns(fn_body: list[ast.stmt]) -> Iterator[tuple[str, ast.Assign]]:
+        for stmt in fn_body:
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            call = stmt.value
+            if (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in ("empty", "empty_like")
+                and isinstance(call.func.value, ast.Name)
+                and call.func.value.id in ("np", "numpy")
+            ):
+                yield target.id, stmt
+
+    def _first_use_violation(
+        self,
+        source: SourceFile,
+        scope: ast.AST,
+        name: str,
+        assign: ast.Assign,
+    ) -> Violation | None:
+        parents = source.parents()
+        after = (assign.lineno, assign.col_offset)
+        uses = [
+            n
+            for n in ast.walk(scope)
+            if isinstance(n, ast.Name)
+            and n.id == name
+            and isinstance(n.ctx, ast.Load)
+            and (n.lineno, n.col_offset) > after
+        ]
+        if not uses:
+            return None
+        first = min(uses, key=lambda n: (n.lineno, n.col_offset))
+        parent = parents.get(first)
+        # Safe first uses: subscript store, out= keyword, call argument
+        # (out-parameter idiom), attribute assignment targets.
+        if isinstance(parent, ast.Subscript):
+            if isinstance(parent.ctx, ast.Store):
+                return None
+            # Subscript load: reading uninitialized elements.
+            return self.violation(
+                source, first,
+                f"'{name}' (np.empty) is read before any element is assigned",
+            )
+        if isinstance(parent, (ast.keyword, ast.Call)):
+            return None
+        if isinstance(parent, (ast.BinOp, ast.UnaryOp, ast.Compare, ast.Return, ast.Attribute)):
+            return self.violation(
+                source, first,
+                f"'{name}' (np.empty) is read before any element is assigned",
+            )
+        return None
+
+    def check(self, source: SourceFile) -> Iterable[Violation]:
+        scopes: list[tuple[ast.AST, list[ast.stmt]]] = [
+            (source.tree, source.tree.body)
+        ]
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append((node, node.body))
+        for scope, body in scopes:
+            for name, assign in self._empty_assigns(body):
+                v = self._first_use_violation(source, scope, name, assign)
+                if v is not None:
+                    yield v
+
+
+@register_rule
+class RingDepthNotLiteral(Rule):
+    """CL008: ring-buffer depths must reference ``RING_DEPTH``.
+
+    The paper's streaming RHS keeps exactly ``RING_DEPTH`` (6) primitive
+    z-slices resident -- the WENO5 z-face stencil.  Constructing a
+    ``SliceRing`` with a literal depth detaches the buffer from the
+    stencil it exists to serve.
+    """
+
+    rule_id = "CL008"
+    name = "literal-ring-depth"
+    description = "SliceRing depth must be RING_DEPTH-derived, not a literal"
+
+    def check(self, source: SourceFile) -> Iterable[Violation]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            name = fn.attr if isinstance(fn, ast.Attribute) else getattr(fn, "id", "")
+            if name != "SliceRing":
+                continue
+            depth_args = [kw.value for kw in node.keywords if kw.arg == "depth"]
+            if len(node.args) >= 2:
+                depth_args.append(node.args[1])
+            for arg in depth_args:
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, int):
+                    yield self.violation(
+                        source,
+                        arg,
+                        f"literal ring depth {arg.value}; use RING_DEPTH "
+                        "from repro.core.ringbuffer",
+                    )

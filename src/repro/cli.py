@@ -30,6 +30,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     """Run a cloud-collapse simulation and print diagnostics."""
     from .cluster import Simulation
     from .sim import SimulationConfig, cloud_collapse, generate_cloud
+    from .sim.diagnostics import format_sanitizer_report
     from .sim.erosion import ErosionModel
 
     bubbles = generate_cloud(
@@ -49,6 +50,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         erosion=erosion,
         dump_interval=args.dump_interval,
         dump_dir=args.dump_dir,
+        sanitize=args.sanitize,
     )
     ic = cloud_collapse(bubbles, p_liquid=args.pressure,
                         smoothing=config.h)
@@ -67,6 +69,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"damaged cells {(dmg > 0).sum()}/{dmg.size}")
     print("\ntimers [s]:",
           {k: round(v, 2) for k, v in sorted(result.timers.items())})
+    if args.sanitize != "off":
+        print()
+        print(format_sanitizer_report(result.sanitizer_report))
     return 0
 
 
@@ -110,17 +115,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_compress(args: argparse.Namespace) -> int:
     from .compression import WaveletCompressor
+    from .physics.state import COMPUTE_DTYPE, STORAGE_DTYPE
 
     field = np.load(args.field)
     if field.ndim != 3:
         print("error: expected a 3D array", file=sys.stderr)
         return 2
     comp = WaveletCompressor(eps=args.eps, guaranteed=not args.paper_thresholds)
-    cf = comp.compress(field.astype(np.float32))
+    cf = comp.compress(field.astype(STORAGE_DTYPE))
     out = args.output or (os.path.splitext(args.field)[0] + ".rwz.npy")
     np.save(out, np.frombuffer(cf.payload, dtype=np.uint8))
     restored = comp.decompress(cf)
-    err = float(np.abs(restored.astype(np.float64) - field).max())
+    err = float(np.abs(restored.astype(COMPUTE_DTYPE) - field).max())
     print(f"{args.field}: {field.nbytes} B -> {cf.nbytes} B "
           f"({cf.stats.rate:.1f}:1), L-inf error {err:.3e} (eps {args.eps})")
     print(f"payload written to {out}")
@@ -145,6 +151,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "pressure")
     run.add_argument("--dump-interval", type=int, default=0)
     run.add_argument("--dump-dir", default=".")
+    run.add_argument("--sanitize", choices=["off", "warn", "raise"],
+                     default="off",
+                     help="runtime numerics sanitizer policy (see "
+                          "repro.analysis)")
     run.set_defaults(func=_cmd_run)
 
     rep = sub.add_parser("report", help="print the performance models")

@@ -26,13 +26,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..analysis.sanitizer import (
+    NumericsViolationError,
+    ViolationReport,
+    make_sanitizer,
+)
 from ..compression.io import write_compressed_parallel
 from ..compression.scheme import WaveletCompressor
 from ..core.timestepper import make_stepper
 from ..node.dispatcher import Dispatcher
 from ..node.grid import BlockGrid
 from ..node.solver import NodeSolver
-from ..physics.state import GAMMA, NQ
+from ..physics.state import GAMMA, NQ, STORAGE_DTYPE
 from ..sim.config import SimulationConfig
 from ..sim.diagnostics import (
     Diagnostics,
@@ -41,7 +46,7 @@ from ..sim.diagnostics import (
     reduce_diagnostics,
 )
 from .halo import HaloExchange
-from .mpi_sim import SimComm, SimWorld
+from .mpi_sim import SimComm, SimWorld, WorldError
 from .topology import CartTopology, balanced_dims
 
 
@@ -71,6 +76,8 @@ class RankResult:
     #: wall damage map of this rank's wall patch (if erosion is enabled
     #: and the subdomain touches the wall)
     wall_damage: np.ndarray | None = None
+    #: per-rank numerics-sanitizer findings (None when sanitize="off")
+    sanitizer_report: ViolationReport | None = None
 
 
 @dataclass
@@ -82,6 +89,8 @@ class RunResult:
     timers: dict[str, float]  #: mean per-rank phase seconds
     rank_results: list[RankResult]
     config: SimulationConfig
+    #: merged sanitizer findings over all ranks (None when sanitize="off")
+    sanitizer_report: ViolationReport | None = None
 
     @property
     def wall_damage(self) -> np.ndarray | None:
@@ -178,6 +187,12 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
     interior, halo_blocks = halo.halo_split()
     stepper = make_stepper(config.stepper)
 
+    sanitizer = make_sanitizer(config.sanitize, p_min=config.sanitize_p_min)
+    if sanitizer is not None:
+        sanitizer.set_context("initial condition")
+        for idx, block in grid.blocks.items():
+            sanitizer.check_state(block.data, block=idx)
+
     # The wall diagnostic is recorded only by ranks whose subdomain
     # touches the wall face.
     wall = None
@@ -214,7 +229,9 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
                 dt = config.t_end - t
 
         # -- RK stages: RHS (overlapped halo exchange) + UP ---------------
-        for stage in stepper.stages:
+        for si, stage in enumerate(stepper.stages):
+            if sanitizer is not None:
+                sanitizer.set_context(f"step {step + 1} stage {si + 1}")
             with timers.span("RHS"):
                 pending = halo.start()
                 rhs_map = solver.evaluate_rhs(interior)
@@ -223,7 +240,8 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
             with timers.span("RHS"):
                 rhs_map.update(solver.evaluate_rhs(halo_blocks, provider))
             with timers.span("UP"):
-                solver.update(rhs_map, stage.a, stage.b, dt)
+                solver.update(rhs_map, stage.a, stage.b, dt,
+                              sanitizer=sanitizer)
 
         t += dt
         step += 1
@@ -278,6 +296,7 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
         messages_sent=comm.messages_sent,
         compression_stats=compression_stats,
         wall_damage=damage.damage if damage is not None else None,
+        sanitizer_report=sanitizer.report if sanitizer is not None else None,
     )
 
 
@@ -292,8 +311,8 @@ def _dump(
     """Compress and collectively write p and Gamma (one file each)."""
     fld = grid.to_array()
     quantities = {
-        "p": (pressure_field(fld).astype(np.float32), config.eps_pressure),
-        "Gamma": (fld[..., GAMMA].astype(np.float32), config.eps_gamma),
+        "p": (pressure_field(fld).astype(STORAGE_DTYPE), config.eps_pressure),
+        "Gamma": (fld[..., GAMMA].astype(STORAGE_DTYPE), config.eps_gamma),
     }
     out = []
     for name, (data, eps) in quantities.items():
@@ -351,14 +370,29 @@ class Simulation:
 
     def run(self) -> RunResult:
         world = SimWorld(self.config.ranks)
-        rank_results: list[RankResult] = world.run(
-            rank_main, self.config, self.ic_fn, self.restart_from
-        )
+        try:
+            rank_results: list[RankResult] = world.run(
+                rank_main, self.config, self.ic_fn, self.restart_from
+            )
+        except WorldError as we:
+            # Unwrap sanitizer aborts: when every failed rank raised a
+            # NumericsViolationError, re-raise one merged violation error
+            # so callers see the block-level findings directly instead of
+            # the SPMD wrapper.
+            failures = list(we.failures.values())
+            if failures and all(
+                isinstance(f, NumericsViolationError) for f in failures
+            ):
+                merged: list = []
+                for f in failures:
+                    merged.extend(f.violations)
+                raise NumericsViolationError(merged) from we
+            raise
 
         final = None
         if self.config.collect_final_field:
             cells = tuple(self.config.cells)
-            final = np.zeros(cells + (NQ,), dtype=np.float32)
+            final = np.zeros(cells + (NQ,), dtype=STORAGE_DTYPE)
             for rr in rank_results:
                 oz, oy, ox = rr.origin_cells
                 sz, sy, sx = rr.field.shape[:3]
@@ -370,10 +404,18 @@ class Simulation:
             k: float(np.mean([rr.timers.get(k, 0.0) for rr in rank_results]))
             for k in keys
         }
+        reports = [
+            rr.sanitizer_report
+            for rr in rank_results
+            if rr.sanitizer_report is not None
+        ]
         return RunResult(
             records=rank_results[0].records,
             final_field=final,
             timers=timers,
             rank_results=rank_results,
             config=self.config,
+            sanitizer_report=(
+                ViolationReport.merged(reports) if reports else None
+            ),
         )

@@ -325,7 +325,7 @@ class SimWorld:
         def runner(rank: int) -> None:
             try:
                 results[rank] = main(self.comm(rank), *args)
-            except BaseException as exc:  # noqa: BLE001 - reported below
+            except BaseException as exc:  # noqa: BLE001 - reported below  # lint: disable=CL005
                 failures[rank] = exc
 
         if self.size == 1:

@@ -18,7 +18,10 @@ import numpy as np
 
 from ..physics.state import (
     COMPUTE_DTYPE,
+    ENERGY,
+    GAMMA,
     NQ,
+    RHO,
     STORAGE_DTYPE,
     aos_to_soa,
     soa_to_aos,
@@ -109,9 +112,9 @@ def padded_aos(n: int, dtype=STORAGE_DTYPE) -> np.ndarray:
     """
     m = n + 2 * GHOSTS
     pad = np.zeros((m, m, m, NQ), dtype=dtype)
-    pad[..., 0] = 1.0  # rho
-    pad[..., 4] = 1.0  # E
-    pad[..., 5] = 1.0  # Gamma
+    pad[..., RHO] = 1.0
+    pad[..., ENERGY] = 1.0
+    pad[..., GAMMA] = 1.0
     return pad
 
 

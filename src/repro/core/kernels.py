@@ -99,10 +99,12 @@ def _plane_rhs(W2d: np.ndarray, h: float) -> np.ndarray:
 def rhs_kernel_slices(pad_aos: np.ndarray, h: float) -> np.ndarray:
     """Streaming RHS: the paper's ring-buffer z-sweep (Fig. 2, right).
 
-    Converts one z-slice at a time (CONV), keeps the last six primitive
-    slices in a :class:`SliceRing`, computes z-face fluxes incrementally
-    and finishes each output slice as soon as its upper face is available.
-    Numerically identical to :func:`rhs_kernel`.
+    Converts one z-slice at a time (CONV), keeps the last ``RING_DEPTH``
+    primitive slices in a :class:`SliceRing`, computes z-face fluxes
+    incrementally and finishes each output slice as soon as its upper
+    face is available.  Numerically identical to :func:`rhs_kernel`:
+    returns the AoS time derivative, shape ``(n, n, n, NQ)`` in compute
+    precision (dtype ``COMPUTE_DTYPE``).
     """
     m = pad_aos.shape[0]
     n = m - 2 * GHOSTS
@@ -136,10 +138,12 @@ def rhs_kernel_slices(pad_aos: np.ndarray, h: float) -> np.ndarray:
         flux, ustar = hlle_flux(Wm[..., 0], Wp[..., 0], normal=2)
 
         if f >= 1:
-            # Finalize output slice k = f - 1 (padded index k + 3, which
-            # sits at ring position 2: ring = slices zp-5 .. zp).
+            # Finalize output slice k = f - 1 (padded index k + GHOSTS;
+            # the ring holds slices zp-(RING_DEPTH-1) .. zp, so that
+            # center slice sits RING_DEPTH - 1 - GHOSTS slots from the
+            # oldest entry).
             k = f - 1
-            Wcenter = ring[2]
+            Wcenter = ring[RING_DEPTH - 1 - GHOSTS]
             contrib = _plane_rhs(Wcenter, h)
             contrib -= (flux - flux_prev) * inv_h
             du = (ustar - ustar_prev) * inv_h
@@ -156,9 +160,9 @@ def rhs_kernel_slices(pad_aos: np.ndarray, h: float) -> np.ndarray:
 def sos_kernel(block_aos: np.ndarray) -> float:
     """SOS kernel: maximum characteristic velocity ``max(|u_i| + c)``.
 
-    Input is un-padded AoS block data ``(n, n, n, NQ)``.  The cluster layer
-    reduces this value globally and the DT kernel converts it into the
-    CFL-limited time step.
+    Input is un-padded AoS block data ``(n, n, n, NQ)``.  Returns the
+    block maximum as a python float; the cluster layer reduces it
+    globally and the DT kernel converts it into the CFL-limited step.
     """
     U = np.ascontiguousarray(np.moveaxis(block_aos, -1, 0), dtype=COMPUTE_DTYPE)
     W = conserved_to_primitive(U)
@@ -166,7 +170,10 @@ def sos_kernel(block_aos: np.ndarray) -> float:
 
 
 def dt_from_sos(sos_max: float, h: float, cfl: float) -> float:
-    """DT kernel: CFL-limited time step from the global SOS reduction."""
+    """DT kernel: CFL-limited time step from the global SOS reduction.
+
+    Returns ``cfl * h / sos_max`` as a python float.
+    """
     if sos_max <= 0:
         raise ValueError("maximum characteristic velocity must be positive")
     return cfl * h / sos_max
@@ -179,6 +186,8 @@ def update_stage(
     a: float,
     b: float,
     dt: float,
+    sanitizer=None,
+    block: tuple[int, int, int] | None = None,
 ) -> None:
     """UP kernel: one low-storage Runge-Kutta stage, in place.
 
@@ -190,6 +199,13 @@ def update_stage(
     on AoS block data.  ``u_aos`` and ``residual_aos`` are storage
     precision and updated in place; the arithmetic runs in compute
     precision (mixed-precision scheme).
+
+    ``sanitizer`` is an optional
+    :class:`repro.analysis.sanitizer.NumericsSanitizer`; when given, the
+    post-stage block state is checked for NaN/Inf, negative density /
+    Gamma / pressure and the storage-dtype contract (``block`` labels
+    the findings with the block index).  ``None`` -- the production
+    default -- adds no checking work to this memory-bound kernel.
     """
     res64 = residual_aos.astype(COMPUTE_DTYPE)
     res64 *= a
@@ -198,3 +214,6 @@ def update_stage(
     u64 += b * res64
     residual_aos[...] = res64
     u_aos[...] = u64
+    if sanitizer is not None:
+        sanitizer.check_block_write(u_aos, block=block)
+        sanitizer.check_state(u_aos, block=block)

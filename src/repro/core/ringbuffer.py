@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..physics.state import COMPUTE_DTYPE
+
 #: Ring depth required by the WENO5 z-stencil: a face needs 6 consecutive
 #: slices (paper: "the ring buffer ... contains 6 slices").
 RING_DEPTH = 6
@@ -26,7 +28,7 @@ class SliceRing:
     (``ring[0]``) to the newest (``ring[len(ring)-1]``).
     """
 
-    def __init__(self, slice_shape: tuple[int, ...], depth: int = RING_DEPTH, dtype=np.float64):
+    def __init__(self, slice_shape: tuple[int, ...], depth: int = RING_DEPTH, dtype=COMPUTE_DTYPE):
         if depth < 1:
             raise ValueError("ring depth must be positive")
         self.depth = depth

@@ -34,20 +34,26 @@ class TimeStepper:
     order: int = 0
     stages: tuple[RKStage, ...] = ()
 
-    def advance(self, U: np.ndarray, rhs_fn, dt: float) -> np.ndarray:
+    def advance(self, U: np.ndarray, rhs_fn, dt: float,
+                sanitizer=None) -> np.ndarray:
         """Array-level convenience driver (used by tests and examples).
 
         ``rhs_fn(U) -> dU/dt`` must accept and return arrays shaped like
-        ``U``.  Block-based production runs are orchestrated by the
-        cluster driver instead, which interleaves ghost exchange between
-        stages; the arithmetic is identical.
+        ``U``; returns the advanced state (same shape and dtype as ``U``).
+        Block-based production runs are orchestrated by the cluster driver
+        instead, which interleaves ghost exchange between stages; the
+        arithmetic is identical.  ``sanitizer`` is an optional
+        :class:`repro.analysis.sanitizer.NumericsSanitizer` checked after
+        every stage.
         """
         U = U.copy()
         S = np.zeros_like(U)
-        for stage in self.stages:
+        for si, stage in enumerate(self.stages):
             S *= stage.a
             S += dt * rhs_fn(U)
             U += stage.b * S
+            if sanitizer is not None:
+                sanitizer.check_state(U, where=f"{self.name} stage {si + 1}")
         return U
 
 
@@ -72,7 +78,10 @@ class ForwardEuler(TimeStepper):
 
 
 def make_stepper(name: str) -> TimeStepper:
-    """Factory: ``"rk3"`` (default production scheme) or ``"euler"``."""
+    """Factory: ``"rk3"`` (default production scheme) or ``"euler"``.
+
+    Returns a fresh :class:`TimeStepper` instance.
+    """
     steppers = {
         "rk3": LowStorageRK3,
         "rk3-williamson": LowStorageRK3,

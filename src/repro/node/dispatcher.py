@@ -65,7 +65,7 @@ def simulate_dynamic_schedule(durations, num_workers: int) -> ScheduleStats:
     (a min-heap of worker finish times) -- exactly the behaviour of
     ``schedule(dynamic, 1)``.
     """
-    durations = np.asarray(durations, dtype=np.float64)
+    durations = np.asarray(durations, dtype=float)
     if num_workers < 1:
         raise ValueError("num_workers must be positive")
     finish = [(0.0, w) for w in range(num_workers)]

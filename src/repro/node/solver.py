@@ -106,11 +106,18 @@ class NodeSolver:
         a: float,
         b: float,
         dt: float,
+        sanitizer=None,
     ) -> None:
-        """UP kernel over all blocks with RHS entries (one RK stage)."""
+        """UP kernel over all blocks with RHS entries (one RK stage).
+
+        ``sanitizer`` (an optional
+        :class:`repro.analysis.sanitizer.NumericsSanitizer`) is forwarded
+        to the UP kernel so every post-stage block write is checked.
+        """
         for idx, rhs in rhs_map.items():
             block = self.grid.blocks[idx]
-            update_stage(block.data, self.grid.residual(idx), rhs, a, b, dt)
+            update_stage(block.data, self.grid.residual(idx), rhs, a, b, dt,
+                         sanitizer=sanitizer, block=idx)
 
     def max_sos(self) -> float:
         """Rank-local SOS reduction (maximum characteristic velocity)."""

@@ -64,18 +64,21 @@ LIQUID = Material(name="liquid", gamma=6.59, pc=4096.0, rho0=1000.0, p0=100.0)
 
 
 def G_from_gamma(gamma):
-    """``Gamma = 1/(gamma - 1)`` (vectorized)."""
+    """``Gamma = 1/(gamma - 1)``; returns an array shaped like ``gamma``."""
     return 1.0 / (np.asarray(gamma) - 1.0)
 
 
 def P_from_gamma_pc(gamma, pc):
-    """``Pi = gamma * pc / (gamma - 1)`` (vectorized)."""
+    """``Pi = gamma * pc / (gamma - 1)``.
+
+    Returns an array broadcast over ``gamma`` and ``pc``.
+    """
     gamma = np.asarray(gamma)
     return gamma * np.asarray(pc) / (gamma - 1.0)
 
 
 def gamma_from_G(G):
-    """Inverse map ``gamma = 1 + 1/Gamma``."""
+    """Inverse map ``gamma = 1 + 1/Gamma``; returns an array like ``G``."""
     return 1.0 + 1.0 / np.asarray(G)
 
 
@@ -83,7 +86,8 @@ def pc_from_G_P(G, P):
     """Inverse map ``p_c = Pi / (Gamma + 1)``.
 
     From ``Pi = gamma*pc*Gamma`` with ``gamma = (Gamma+1)/Gamma`` it follows
-    that ``Pi = (Gamma + 1) * pc``.
+    that ``Pi = (Gamma + 1) * pc``.  Returns an array broadcast over
+    ``G`` and ``P``.
     """
     return np.asarray(P) / (np.asarray(G) + 1.0)
 
@@ -91,14 +95,19 @@ def pc_from_G_P(G, P):
 def pressure(rho, rhou, rhov, rhow, E, G, P):
     """Pressure from conserved quantities and advected EOS coefficients.
 
-    Inverts the stiffened EOS ``Gamma*p + Pi = E - rho|u|^2/2``.
+    Inverts the stiffened EOS ``Gamma*p + Pi = E - rho|u|^2/2``.  Returns
+    the pointwise pressure broadcast over the inputs, dtype-preserving.
     """
     ke = 0.5 * (rhou * rhou + rhov * rhov + rhow * rhow) / rho
     return (E - ke - P) / G
 
 
 def total_energy(rho, u, v, w, p, G, P):
-    """Total energy per unit volume from primitive quantities."""
+    """Total energy per unit volume from primitive quantities.
+
+    Returns ``Gamma*p + Pi + rho|u|^2/2`` broadcast over the inputs,
+    dtype-preserving.
+    """
     ke = 0.5 * rho * (u * u + v * v + w * w)
     return G * p + P + ke
 
@@ -109,6 +118,9 @@ def sound_speed(rho, p, G, P):
     With ``gamma = (Gamma+1)/Gamma`` and ``gamma*p_c = Pi/Gamma``,
 
         c^2 = gamma * (p + p_c) / rho = ((Gamma + 1) * p + Pi) / (Gamma * rho).
+
+    Returns ``c`` broadcast over the inputs (square root floored against
+    round-off-negative arguments).
     """
     c2 = ((G + 1.0) * p + P) / (G * rho)
     return np.sqrt(np.maximum(c2, _SOUND_SPEED_FLOOR))
@@ -118,7 +130,7 @@ def max_characteristic_velocity(W: np.ndarray) -> float:
     """Maximum of ``|u_i| + c`` over an SoA primitive array ``(NQ, ...)``.
 
     This is the quantity globally reduced by the DT kernel (paper Fig. 1) to
-    determine the CFL-limited time step.
+    determine the CFL-limited time step.  Returns a python float.
     """
     rho, u, v, w, p, G, P = (W[i] for i in range(NQ))
     c = sound_speed(rho, p, G, P)
@@ -148,7 +160,10 @@ def conserved_to_primitive(U: np.ndarray) -> np.ndarray:
 
 
 def primitive_to_conserved(W: np.ndarray) -> np.ndarray:
-    """BACK stage: convert SoA primitive data ``(NQ, ...)`` to conserved."""
+    """BACK stage: convert SoA primitive data ``(NQ, ...)`` to conserved.
+
+    Returns an array of the same shape and dtype as ``W``.
+    """
     U = np.empty_like(W)
     rho = W[RHO]
     u, v, w = W[RHOU], W[RHOV], W[RHOW]

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .state import COMPUTE_DTYPE
+
 
 @dataclass(frozen=True)
 class RiemannSide:
@@ -103,7 +105,11 @@ def _f_side(p: float, s: RiemannSide) -> tuple[float, float]:
 
 def solve(left: RiemannSide, right: RiemannSide,
           tol: float = 1e-12, max_iter: int = 200) -> RiemannSolution:
-    """Solve for the star region (Newton iteration on p*)."""
+    """Solve for the star region (Newton iteration on p*).
+
+    Returns a :class:`RiemannSolution` with the star pressure, velocity
+    and the densities either side of the contact.
+    """
     du = right.u - left.u
     # Initial guess: PVRS (acoustic) estimate, clipped positive.
     p0 = 0.5 * (left.p + right.p) - 0.125 * du * (left.rho + right.rho) * (
@@ -149,7 +155,7 @@ def sample(sol: RiemannSolution, xi):
 
     Returns ``(rho, u, p)`` arrays broadcast over ``xi``.
     """
-    xi = np.asarray(xi, dtype=np.float64)
+    xi = np.asarray(xi, dtype=COMPUTE_DTYPE)
     rho = np.empty_like(xi)
     u = np.empty_like(xi)
     p = np.empty_like(xi)

@@ -39,6 +39,8 @@ def rayleigh_collapse_time(R0: float, rho_liquid: float, dp: float) -> float:
         Liquid density.
     dp:
         Driving pressure difference ``p_inf - p_bubble`` (must be > 0).
+
+    Returns the collapse time as a python float.
     """
     if dp <= 0:
         raise ValueError("driving pressure difference must be positive")

@@ -32,7 +32,8 @@ def einfeldt_wave_speeds(rho_l, un_l, p_l, G_l, P_l, rho_r, un_r, p_r, G_r, P_r)
     Simple Davis/Einfeldt-type bounds: the minimum (maximum) of the left
     and right acoustic speeds, clipped so that ``s_l <= 0 <= s_r`` never
     has to be special-cased by callers (HLLE reduces to the upwind flux
-    automatically when the interface is supersonic).
+    automatically when the interface is supersonic).  Returns the pair
+    ``(s_l, s_r)`` of arrays broadcast over the face states.
     """
     c_l = sound_speed(rho_l, p_l, G_l, P_l)
     c_r = sound_speed(rho_r, p_r, G_r, P_r)
@@ -124,7 +125,8 @@ def hlle_flux(W_l: np.ndarray, W_r: np.ndarray, normal: int):
 def hllc_flux(W_l: np.ndarray, W_r: np.ndarray, normal: int):
     """HLLC flux: HLLE plus a restored contact wave (Toro).
 
-    Same contract as :func:`hlle_flux`.  The contact speed ``s*`` doubles
+    Same contract as :func:`hlle_flux`: returns ``(flux, ustar)`` with
+    ``flux`` of shape ``(NQ, ...)``.  The contact speed ``s*`` doubles
     as the interface velocity of the quasi-conservative Gamma/Pi
     transport -- HLLC keeps isolated material contacts *exactly*
     stationary, which HLLE smears (the ablation the contact-resolution

@@ -48,10 +48,11 @@ ADVECTED = (GAMMA, PI)
 NAMES = ("rho", "rhou", "rhov", "rhow", "E", "Gamma", "Pi")
 
 #: Storage dtype of the computational elements (paper Section 7: mixed
-#: precision -- single precision for memory representation).
-STORAGE_DTYPE = np.float32
+#: precision -- single precision for memory representation).  This module
+#: is the one place raw numpy dtypes may be named (lint rule CL001).
+STORAGE_DTYPE = np.float32  # lint: disable=CL001
 #: Compute dtype of the kernels (double precision computation).
-COMPUTE_DTYPE = np.float64
+COMPUTE_DTYPE = np.float64  # lint: disable=CL001
 
 
 def zeros_aos(shape: tuple[int, ...], dtype=STORAGE_DTYPE) -> np.ndarray:
@@ -67,7 +68,8 @@ def aos_to_soa(aos: np.ndarray, dtype=COMPUTE_DTYPE) -> np.ndarray:
 
     This is the core layer's AoS/SoA conversion (paper Fig. 2, right): the
     SoA output is contiguous per quantity, which is what makes the compute
-    kernels vectorizable.
+    kernels vectorizable.  Returns a contiguous array of shape
+    ``(NQ,) + aos.shape[:-1]`` in ``dtype`` (compute precision by default).
     """
     if aos.shape[-1] != NQ:
         raise ValueError(f"expected trailing axis of size {NQ}, got {aos.shape}")
@@ -75,7 +77,11 @@ def aos_to_soa(aos: np.ndarray, dtype=COMPUTE_DTYPE) -> np.ndarray:
 
 
 def soa_to_aos(soa: np.ndarray, dtype=STORAGE_DTYPE) -> np.ndarray:
-    """Convert an SoA array ``(NQ, ...)`` back to AoS ``(..., NQ)``."""
+    """Convert an SoA array ``(NQ, ...)`` back to AoS ``(..., NQ)``.
+
+    Returns a contiguous array of shape ``soa.shape[1:] + (NQ,)`` in
+    ``dtype`` (storage precision by default -- the block write-back).
+    """
     if soa.shape[0] != NQ:
         raise ValueError(f"expected leading axis of size {NQ}, got {soa.shape}")
     return np.ascontiguousarray(np.moveaxis(soa, 0, -1), dtype=dtype)

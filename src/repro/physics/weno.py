@@ -31,6 +31,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .state import COMPUTE_DTYPE
+
 #: Smoothness-indicator regularization of Jiang & Shu.
 WENO_EPS = 1.0e-6
 
@@ -101,7 +103,7 @@ class Weno5Workspace:
     per-thread ring buffers.
     """
 
-    def __init__(self, shape: tuple[int, ...], dtype=np.float64):
+    def __init__(self, shape: tuple[int, ...], dtype=COMPUTE_DTYPE):
         self.shape = tuple(shape)
         self.dtype = np.dtype(dtype)
         # Nine scratch arrays cover the in-flight temporaries of the fused
@@ -203,6 +205,7 @@ def weno5_fused(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Workspace-reusing WENO5; same contract as :func:`weno5`.
 
+    Returns ``(minus, plus)`` of shape ``v.shape[:-1] + (M - 5,)``.
     Passing a :class:`Weno5Workspace` (and optionally output arrays)
     eliminates all per-call allocations.
     """
@@ -227,7 +230,8 @@ def weno3(v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Third-order WENO reconstruction (ablation baseline).
 
     Same calling convention as :func:`weno5` -- input of length ``M``
-    along the last axis, ``M - 5`` collocated face pairs -- so the RHS
+    along the last axis, returning ``(minus, plus)`` of shape
+    ``v.shape[:-1] + (M - 5,)`` collocated face pairs -- so the RHS
     pipeline can swap reconstruction orders without re-plumbing ghosts.
     Used by the spatial-order ablation bench: the paper picks 5th order
     to cut the step count, at a stencil-size (ghost traffic) cost.
@@ -263,6 +267,7 @@ def weno5_faces_scalar(stencil: np.ndarray) -> float:
     """Reference scalar WENO5 minus-reconstruction of a single 5-stencil.
 
     Used by property tests to cross-check the vectorized kernels.
+    Returns the reconstructed face value as a python float.
     """
     a, b, c, d, e = (float(x) for x in stencil)
     return float(_weno5_minus_raw(a, b, c, d, e))

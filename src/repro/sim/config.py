@@ -30,6 +30,12 @@ class SimulationConfig:
     use_slices: bool = False  #: ring-buffer streaming RHS
     weno_order: int = 5  #: spatial order: 5 (production) or 3 (ablation)
     riemann_solver: str = "hlle"  #: "hlle" (paper) or "hllc"
+    #: runtime numerics sanitizer policy: "off" (production default; zero
+    #: overhead), "warn" (record violations, emit warnings, keep running)
+    #: or "raise" (abort on the first violation).  See
+    #: :mod:`repro.analysis.sanitizer`.
+    sanitize: str = "off"
+    sanitize_p_min: float = 0.0  #: pressure floor used by the sanitizer
 
     # -- parallelization ---------------------------------------------------
     ranks: int = 1  #: simulated MPI ranks
@@ -77,6 +83,12 @@ class SimulationConfig:
             raise ValueError("ranks must be >= 1")
         if self.erosion is not None and self.wall is None:
             raise ValueError("erosion accumulation requires a wall")
+        from ..analysis.sanitizer import POLICIES
+
+        if self.sanitize not in POLICIES:
+            raise ValueError(
+                f"sanitize={self.sanitize!r} not in {POLICIES}"
+            )
 
     @property
     def h(self) -> float:

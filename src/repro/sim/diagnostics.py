@@ -104,3 +104,21 @@ def reduce_diagnostics(comm, local: dict) -> Diagnostics:
         kinetic_energy=comm.allreduce(local["kinetic_energy"], op="sum"),
         vapor_volume=comm.allreduce(local["vapor_volume"], op="sum"),
     )
+
+
+def format_sanitizer_report(report, max_lines: int = 20) -> str:
+    """Human-readable rendering of a sanitizer :class:`ViolationReport`.
+
+    Returns the one-line summary followed by up to ``max_lines``
+    block-level findings (runs with the sanitizer off pass ``None`` and
+    get an explicit note instead).
+    """
+    if report is None:
+        return "numerics sanitizer: off"
+    lines = [report.summary()]
+    for v in report.violations[:max_lines]:
+        lines.append(f"  {v.format()}")
+    hidden = len(report.violations) - max_lines
+    if hidden > 0:
+        lines.append(f"  ... and {hidden} more")
+    return "\n".join(lines)

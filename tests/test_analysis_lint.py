@@ -1,0 +1,383 @@
+"""Tests of the ``cubism-lint`` static checker (repro.analysis)."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import (
+    LintConfig,
+    format_violations,
+    lint_paths,
+    lint_source,
+    registered_rules,
+)
+from repro.analysis.cli import main as lint_main
+from repro.analysis.lint import path_matches
+
+SRC = str(Path(__file__).resolve().parents[1] / "src" / "repro")
+
+
+def lint(text: str, path: str = "src/repro/core/fixture.py", **kw):
+    return lint_source(textwrap.dedent(text), path, **kw)
+
+
+def rules_of(violations):
+    return [v.rule for v in violations]
+
+
+# -- registry & framework ------------------------------------------------
+
+
+def test_registry_has_the_eight_rules():
+    ids = [cls.rule_id for cls in registered_rules()]
+    assert ids == [f"CL00{i}" for i in range(1, 9)]
+    for cls in registered_rules():
+        assert cls.name and cls.description
+
+
+def test_syntax_error_reported_as_cl000():
+    out = lint("def broken(:\n    pass\n")
+    assert rules_of(out) == ["CL000"]
+
+
+def test_violation_format_is_file_line_col_rule():
+    out = lint("import numpy as np\nx = np.float32\n")
+    assert len(out) == 1
+    formatted = format_violations(out)
+    assert formatted.startswith("src/repro/core/fixture.py:2:")
+    assert " CL001 " in formatted
+
+
+# -- CL001: raw float dtypes ---------------------------------------------
+
+
+def test_cl001_flags_raw_dtype_in_core():
+    out = lint("import numpy as np\na = np.zeros(3, dtype=np.float32)\n")
+    assert "CL001" in rules_of(out)
+
+
+def test_cl001_flags_np_float64_too():
+    out = lint("import numpy as np\na = np.asarray([1.0], dtype=np.float64)\n")
+    assert "CL001" in rules_of(out)
+
+
+def test_cl001_clean_when_using_named_dtypes():
+    out = lint(
+        """
+        import numpy as np
+        from repro.physics.state import STORAGE_DTYPE
+        a = np.zeros(3, dtype=STORAGE_DTYPE)
+        """
+    )
+    assert "CL001" not in rules_of(out)
+
+
+def test_cl001_exempts_compression_and_sim():
+    text = "import numpy as np\na = np.zeros(3, dtype=np.float32)\n"
+    for path in ("src/repro/compression/encoder.py", "src/repro/sim/ic.py"):
+        assert lint_source(text, path) == []
+
+
+def test_cl001_scopes_cli_pattern_to_top_level_cli_only():
+    text = "import numpy as np\na = np.float32(1.0)\n"
+    assert "CL001" in rules_of(lint_source(text, "src/repro/cli.py"))
+    # The analysis package's own CLI is not "repro/cli.py".
+    assert lint_source(text, "src/repro/analysis/cli.py") == []
+
+
+# -- CL002: hard-coded ghost widths --------------------------------------
+
+
+def test_cl002_flags_literal_ghost_slice():
+    out = lint("def f(pad):\n    return pad[3:-3, 3:-3]\n")
+    assert "CL002" in rules_of(out)
+
+
+def test_cl002_clean_with_ghosts_constant():
+    out = lint(
+        """
+        from repro.core.block import GHOSTS
+        def f(pad):
+            g = GHOSTS
+            return pad[g:-g, g:-g]
+        """
+    )
+    assert "CL002" not in rules_of(out)
+
+
+def test_cl002_out_of_scope_in_physics():
+    out = lint_source("def f(a):\n    return a[3:-3]\n",
+                      "src/repro/physics/fixture.py")
+    assert "CL002" not in rules_of(out)
+
+
+# -- CL003: downcasts on the compute path --------------------------------
+
+
+def test_cl003_flags_downcast_in_physics():
+    out = lint_source(
+        "import numpy as np\ndef f(a):\n    return a.astype(np.float32)\n",
+        "src/repro/physics/fixture.py",
+    )
+    assert "CL003" in rules_of(out)
+
+
+def test_cl003_flags_string_dtype_and_storage_dtype_name():
+    base = "from repro.physics.state import STORAGE_DTYPE\n"
+    out1 = lint_source(base + "def f(a):\n    return a.astype('float32')\n",
+                       "src/repro/physics/fixture.py")
+    out2 = lint_source(base + "def f(a):\n    return a.astype(STORAGE_DTYPE)\n",
+                       "src/repro/physics/fixture.py")
+    assert "CL003" in rules_of(out1)
+    assert "CL003" in rules_of(out2)
+
+
+def test_cl003_allows_upcast_and_out_of_scope_files():
+    out = lint_source(
+        "import numpy as np\ndef f(a):\n    return a.astype(np.float64)\n",
+        "src/repro/physics/fixture.py",
+    )
+    assert "CL003" not in rules_of(out)
+    # Storage downcasts are the *job* of block stores, sim and compression.
+    out = lint_source(
+        "import numpy as np\ndef f(a):\n    return a.astype(np.float32)\n",
+        "src/repro/compression/fixture.py",
+    )
+    assert "CL003" not in rules_of(out)
+
+
+# -- CL004: mutable defaults ---------------------------------------------
+
+
+def test_cl004_flags_mutable_defaults():
+    out = lint("def f(x, acc=[]):\n    return acc\n")
+    assert "CL004" in rules_of(out)
+    out = lint("def f(x, acc=dict()):\n    return acc\n")
+    assert "CL004" in rules_of(out)
+
+
+def test_cl004_clean_for_none_and_tuples():
+    out = lint("def f(x, acc=None, shape=(1, 2)):\n    return acc\n")
+    assert "CL004" not in rules_of(out)
+
+
+# -- CL005: silent broad excepts -----------------------------------------
+
+
+def test_cl005_flags_silent_bare_except():
+    out = lint(
+        """
+        def f():
+            try:
+                work()
+            except Exception:
+                pass
+        """
+    )
+    assert "CL005" in rules_of(out)
+
+
+def test_cl005_allows_reraise_or_logging():
+    clean_raise = """
+        def f():
+            try:
+                work()
+            except Exception:
+                raise RuntimeError("wrapped")
+        """
+    clean_log = """
+        import logging
+        def f():
+            try:
+                work()
+            except Exception as exc:
+                logging.warning("failed: %s", exc)
+        """
+    assert "CL005" not in rules_of(lint(clean_raise))
+    assert "CL005" not in rules_of(lint(clean_log))
+
+
+def test_cl005_allows_narrow_except():
+    out = lint(
+        """
+        def f():
+            try:
+                work()
+            except KeyError:
+                pass
+        """
+    )
+    assert "CL005" not in rules_of(out)
+
+
+# -- CL006: return contract documentation --------------------------------
+
+
+def test_cl006_flags_undocumented_public_return():
+    out = lint_source(
+        'def f(a):\n    """Do things."""\n    return a * 2\n',
+        "src/repro/physics/fixture.py",
+    )
+    assert "CL006" in rules_of(out)
+
+
+def test_cl006_clean_with_return_doc_private_or_no_return():
+    documented = (
+        'def f(a):\n    """Returns twice ``a`` (same shape/dtype)."""\n'
+        "    return a * 2\n"
+    )
+    private = 'def _f(a):\n    """Do things."""\n    return a * 2\n'
+    procedure = 'def f(a):\n    """Do things in place."""\n    a[0] = 1\n'
+    for text in (documented, private, procedure):
+        out = lint_source(text, "src/repro/physics/fixture.py")
+        assert "CL006" not in rules_of(out), text
+
+
+# -- CL007: np.empty read-before-assignment ------------------------------
+
+
+def test_cl007_flags_read_of_unwritten_empty():
+    out = lint(
+        """
+        import numpy as np
+        def f(n):
+            buf = np.empty(n)
+            return buf + 1.0
+        """
+    )
+    assert "CL007" in rules_of(out)
+
+
+def test_cl007_clean_when_written_or_used_as_out_param():
+    filled = """
+        import numpy as np
+        def f(n):
+            buf = np.empty(n)
+            buf[:] = 0.0
+            return buf + 1.0
+        """
+    out_param = """
+        import numpy as np
+        def f(n, src):
+            buf = np.empty(n)
+            np.add(src, 1.0, out=buf)
+            return buf
+        """
+    assert "CL007" not in rules_of(lint(filled))
+    assert "CL007" not in rules_of(lint(out_param))
+
+
+# -- CL008: ring depth literals ------------------------------------------
+
+
+def test_cl008_flags_literal_ring_depth():
+    out = lint(
+        """
+        from repro.core.ringbuffer import SliceRing
+        ring = SliceRing((7, 8, 8), depth=6)
+        """
+    )
+    assert "CL008" in rules_of(out)
+
+
+def test_cl008_clean_with_ring_depth_constant():
+    out = lint(
+        """
+        from repro.core.ringbuffer import RING_DEPTH, SliceRing
+        ring = SliceRing((7, 8, 8), depth=RING_DEPTH)
+        """
+    )
+    assert "CL008" not in rules_of(out)
+
+
+# -- pragmas -------------------------------------------------------------
+
+
+def test_trailing_pragma_disables_line_only():
+    out = lint(
+        """
+        import numpy as np
+        a = np.float32  # lint: disable=CL001
+        b = np.float64
+        """
+    )
+    assert rules_of(out) == ["CL001"]
+    assert out[0].line == 4
+
+
+def test_standalone_pragma_disables_file_wide():
+    out = lint(
+        """
+        # lint: disable=CL001
+        import numpy as np
+        a = np.float32
+        b = np.float64
+        """
+    )
+    assert "CL001" not in rules_of(out)
+
+
+def test_pragma_disables_multiple_rules():
+    out = lint(
+        """
+        # lint: disable=CL001, CL004
+        import numpy as np
+        def f(x, acc=[]):
+            'Returns x as float32.'
+            return np.float32(x)
+        """
+    )
+    assert out == []
+
+
+# -- config: select / ignore / rule_paths --------------------------------
+
+
+def test_config_select_and_ignore():
+    text = "import numpy as np\na = np.float32\ndef f(x, acc=[]):\n    return acc\n"
+    only_cl004 = lint(text, config=LintConfig(select=frozenset({"CL004"})))
+    assert rules_of(only_cl004) == ["CL004"]
+    no_cl001 = lint(text, config=LintConfig(ignore=frozenset({"CL001"})))
+    assert "CL001" not in rules_of(no_cl001)
+
+
+def test_config_rule_paths_override():
+    text = "import numpy as np\na = np.float32\n"
+    cfg = LintConfig(rule_paths={"CL001": ("sim/",)})
+    assert lint(text, config=cfg) == []
+    assert "CL001" in rules_of(
+        lint_source(text, "src/repro/sim/fixture.py", config=cfg)
+    )
+
+
+def test_path_matches_semantics():
+    assert path_matches("src/repro/core/kernels.py", "core/")
+    assert path_matches("src/repro/cli.py", "repro/cli.py")
+    assert not path_matches("src/repro/analysis/cli.py", "repro/cli.py")
+    assert not path_matches("src/repro/score.py", "core/")
+
+
+# -- the tree itself is clean (the PR's acceptance criterion) -------------
+
+
+def test_self_lint_src_repro_is_clean():
+    violations = lint_paths([SRC])
+    assert violations == [], "\n" + format_violations(violations)
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    assert lint_main([SRC]) == 0
+    bad = tmp_path / "core" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("import numpy as np\na = np.float32\n")
+    assert lint_main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "CL001" in out and "bad.py" in out
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for i in range(1, 9):
+        assert f"CL00{i}" in out
