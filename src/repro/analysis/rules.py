@@ -402,6 +402,80 @@ class NoUninitializedRead(Rule):
                     yield v
 
 
+#: Timing functions of the ``time`` module covered by CL009.  The
+#: deadline clock ``time.monotonic`` is deliberately excluded: timeout
+#: arithmetic (e.g. the simulated communicator's deadlock guards) is not
+#: phase measurement.
+_TIMING_FNS = {"perf_counter", "perf_counter_ns", "time", "time_ns"}
+
+
+@register_rule
+class NoRawTimingCalls(Rule):
+    """CL009: no raw ``time.perf_counter()`` / ``time.time()`` timing.
+
+    Every measured second must be visible to the telemetry exporters and
+    the run scorecard, so phase timing in the solver layers flows through
+    :mod:`repro.telemetry` -- ``Tracer.span`` for phases,
+    ``repro.telemetry.clock.now`` / ``wall_now`` for raw stamps.  A
+    direct ``time.perf_counter()`` call is a timing side channel the
+    trace cannot see.  Scope: the four solver/compression layers;
+    ``repro/telemetry`` itself is the sanctioned owner of :mod:`time`.
+    """
+
+    rule_id = "CL009"
+    name = "raw-timing-call"
+    description = (
+        "raw time.perf_counter()/time.time() outside repro/telemetry; use "
+        "Tracer spans or repro.telemetry.clock helpers"
+    )
+    default_paths = ("cluster/", "node/", "core/", "compression/")
+
+    @staticmethod
+    def _timing_names(tree: ast.AST) -> tuple[set[str], set[str]]:
+        """Returns (module aliases of ``time``, from-imported fn names)."""
+        aliases: set[str] = set()
+        from_names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    if a.name == "time":
+                        aliases.add(a.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for a in node.names:
+                    if a.name in _TIMING_FNS:
+                        from_names.add(a.asname or a.name)
+        return aliases, from_names
+
+    def check(self, source: SourceFile) -> Iterable[Violation]:
+        aliases, from_names = self._timing_names(source.tree)
+        if not aliases and not from_names:
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if (
+                isinstance(fn, ast.Attribute)
+                and fn.attr in _TIMING_FNS
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id in aliases
+            ):
+                yield self.violation(
+                    source,
+                    node,
+                    f"raw {fn.value.id}.{fn.attr}() timing; route it "
+                    "through repro.telemetry (Tracer.span or clock.now/"
+                    "wall_now)",
+                )
+            elif isinstance(fn, ast.Name) and fn.id in from_names:
+                yield self.violation(
+                    source,
+                    node,
+                    f"raw time-module call {fn.id}(); route it through "
+                    "repro.telemetry (Tracer.span or clock.now/wall_now)",
+                )
+
+
 @register_rule
 class RingDepthNotLiteral(Rule):
     """CL008: ring-buffer depths must reference ``RING_DEPTH``.

@@ -41,6 +41,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ErosionModel(p_threshold=args.erosion_threshold)
         if args.erosion_threshold else None
     )
+    telemetry = args.telemetry
+    if args.trace_out and telemetry != "trace":
+        telemetry = "trace"  # --trace-out implies span recording
     config = SimulationConfig(
         cells=args.cells,
         block_size=16 if args.cells % 16 == 0 else 8,
@@ -51,6 +54,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         dump_interval=args.dump_interval,
         dump_dir=args.dump_dir,
         sanitize=args.sanitize,
+        telemetry=telemetry,
     )
     ic = cloud_collapse(bubbles, p_liquid=args.pressure,
                         smoothing=config.h)
@@ -69,6 +73,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"damaged cells {(dmg > 0).sum()}/{dmg.size}")
     print("\ntimers [s]:",
           {k: round(v, 2) for k, v in sorted(result.timers.items())})
+    print(f"run: {len(result.records)} steps in "
+          f"{result.wall_seconds:.2f} s wall, "
+          f"{result.cells_per_second / 1e6:.3f} Mcells/s")
+    if telemetry != "off":
+        from .telemetry import format_run_scorecard, write_chrome_trace
+
+        print()
+        print(format_run_scorecard(result))
+        if args.trace_out:
+            n = write_chrome_trace(args.trace_out, result)
+            print(f"\ntrace: {n} events written to {args.trace_out} "
+                  "(open at https://ui.perfetto.dev)")
     if args.sanitize != "off":
         print()
         print(format_sanitizer_report(result.sanitizer_report))
@@ -155,6 +171,14 @@ def build_parser() -> argparse.ArgumentParser:
                      default="off",
                      help="runtime numerics sanitizer policy (see "
                           "repro.analysis)")
+    run.add_argument("--telemetry", choices=["off", "metrics", "trace"],
+                     default="off",
+                     help="run telemetry policy: metrics snapshot + "
+                          "scorecard, or full span tracing (see "
+                          "repro.telemetry)")
+    run.add_argument("--trace-out", metavar="PATH", default=None,
+                     help="write a Perfetto-loadable Chrome trace-event "
+                          "JSON of the run (implies --telemetry trace)")
     run.set_defaults(func=_cmd_run)
 
     rep = sub.add_parser("report", help="print the performance models")

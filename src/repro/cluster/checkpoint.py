@@ -16,12 +16,12 @@ state serialization that makes that possible:
 from __future__ import annotations
 
 import json
-import time
 import zlib
 
 import numpy as np
 
 from ..physics.state import NQ, STORAGE_DTYPE
+from ..telemetry.clock import wall_now
 
 #: Fixed-size JSON header (same convention as the dump files).
 HEADER_SIZE = 65536
@@ -55,7 +55,7 @@ def write_checkpoint(comm, path: str, field: np.ndarray,
             "magic": _MAGIC,
             "t": t,
             "step": step,
-            "written_at": time.time(),
+            "written_at": wall_now(),
             "ranks": entries,
         }
         blob = json.dumps(header).encode()

@@ -15,13 +15,15 @@ The driver runs as an SPMD program over the simulated communicator; the
 results for single-process callers (examples, tests, benchmarks).
 
 Per-phase wall-clock timers reproduce the time-distribution measurements
-of paper Fig. 7.
+of paper Fig. 7.  With ``config.telemetry`` enabled the same spans also
+feed :mod:`repro.telemetry`: counters, a JSON metrics snapshot on
+``RankResult``/``RunResult`` and (mode ``"trace"``) per-rank span events
+exportable as a Perfetto timeline.
 """
 
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -45,6 +47,8 @@ from ..sim.diagnostics import (
     rank_diagnostics,
     reduce_diagnostics,
 )
+from ..telemetry import MetricsSnapshot, PhaseTimers, SpanEvent, make_tracer
+from ..telemetry.clock import now
 from .halo import HaloExchange
 from .mpi_sim import SimComm, SimWorld, WorldError
 from .topology import CartTopology, balanced_dims
@@ -78,6 +82,12 @@ class RankResult:
     wall_damage: np.ndarray | None = None
     #: per-rank numerics-sanitizer findings (None when sanitize="off")
     sanitizer_report: ViolationReport | None = None
+    #: wall-clock seconds of this rank's whole SPMD program
+    wall_seconds: float = 0.0
+    #: per-rank metrics snapshot (None when telemetry="off")
+    telemetry: MetricsSnapshot | None = None
+    #: per-rank span events (only when telemetry="trace")
+    trace_events: list[SpanEvent] | None = None
 
 
 @dataclass
@@ -91,6 +101,25 @@ class RunResult:
     config: SimulationConfig
     #: merged sanitizer findings over all ranks (None when sanitize="off")
     sanitizer_report: ViolationReport | None = None
+    #: run wall-clock seconds (maximum over ranks)
+    wall_seconds: float = 0.0
+    #: merged metrics snapshot over all ranks (None when telemetry="off")
+    telemetry: MetricsSnapshot | None = None
+
+    @property
+    def cells_per_second(self) -> float:
+        """Achieved throughput in cell updates per second.
+
+        Completed steps times global cells over run wall time -- the
+        quantity the paper reports as Gcells/s (721 Gcells/s on 96
+        racks).  Available for every run, telemetry on or off.
+        """
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        cells = 1
+        for c in self.config.cells:
+            cells *= c
+        return len(self.records) * cells / self.wall_seconds
 
     @property
     def wall_damage(self) -> np.ndarray | None:
@@ -127,25 +156,6 @@ class RunResult:
         )
 
 
-class _Timers(dict):
-    """Accumulating phase timers with a context-manager interface."""
-
-    class _Span:
-        def __init__(self, timers: "_Timers", key: str):
-            self.timers, self.key = timers, key
-
-        def __enter__(self):
-            self.t0 = time.perf_counter()
-
-        def __exit__(self, *exc):
-            self.timers[self.key] = self.timers.get(self.key, 0.0) + (
-                time.perf_counter() - self.t0
-            )
-
-    def span(self, key: str) -> "_Timers._Span":
-        return self._Span(self, key)
-
-
 def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
               restart_from: str | None = None) -> RankResult:
     """The SPMD program executed by every rank.
@@ -154,6 +164,7 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
     :func:`repro.cluster.checkpoint.write_checkpoint` (any rank count);
     ``max_steps`` counts total steps including the restarted ones.
     """
+    wall_t0 = now()
     topo = CartTopology(balanced_dims(comm.size), config.periodic)
     if topo.size != comm.size:
         raise ValueError(f"topology size {topo.size} != world size {comm.size}")
@@ -174,6 +185,8 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
         nz, ny, nx = grid.cells
         grid.from_array(global_field[oz:oz + nz, oy:oy + ny, ox:ox + nx])
 
+    tracer = make_tracer(config.telemetry, rank=comm.rank,
+                         max_events=config.telemetry_max_events)
     solver = NodeSolver(
         grid,
         boundary=config.boundary_spec(),
@@ -182,8 +195,9 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
         use_slices=config.use_slices,
         order=config.weno_order,
         solver=config.riemann_solver,
+        tracer=tracer,
     )
-    halo = HaloExchange(comm, topo, grid)
+    halo = HaloExchange(comm, topo, grid, tracer=tracer)
     interior, halo_blocks = halo.halo_split()
     stepper = make_stepper(config.stepper)
 
@@ -212,7 +226,11 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
         )
         damage = WallDamageAccumulator(patch_shape, h, config.erosion)
 
-    timers = _Timers()
+    # The tracer doubles as the phase-timer dict; with telemetry off a
+    # bare PhaseTimers keeps the legacy ``StepRecord.timers`` payload
+    # without constructing any telemetry state.
+    timers = tracer if tracer is not None else PhaseTimers()
+    ncells = int(np.prod(grid.cells))
     records: list[StepRecord] = []
     compression_stats: list[dict] = []
     while step < config.max_steps and t < config.t_end:
@@ -227,6 +245,8 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
             dt = config.cfl * h / sos
             if t + dt > config.t_end:
                 dt = config.t_end - t
+        if tracer is not None:
+            tracer.count("allreduce_calls")
 
         # -- RK stages: RHS (overlapped halo exchange) + UP ---------------
         for si, stage in enumerate(stepper.stages):
@@ -245,6 +265,9 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
 
         t += dt
         step += 1
+        if tracer is not None:
+            tracer.count("steps")
+            tracer.count("cell_steps", ncells)
 
         # -- erosion accumulation on the wall layer ----------------------
         if damage is not None:
@@ -266,7 +289,8 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
         # -- compressed data dumps (p and Gamma only, as in the paper) ----
         if config.dump_interval and step % config.dump_interval == 0:
             with timers.span("IO_WAVELET"):
-                stats = _dump(comm, config, grid, origin_cells, step, timers)
+                stats = _dump(comm, config, grid, origin_cells, step, timers,
+                              tracer)
                 compression_stats.extend(stats)
 
         # -- lossless checkpoints ----------------------------------------
@@ -286,6 +310,7 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
                        timers=dict(timers))
         )
 
+    wall_seconds = now() - wall_t0
     return RankResult(
         rank=comm.rank,
         records=records,
@@ -297,6 +322,12 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
         compression_stats=compression_stats,
         wall_damage=damage.damage if damage is not None else None,
         sanitizer_report=sanitizer.report if sanitizer is not None else None,
+        wall_seconds=wall_seconds,
+        telemetry=tracer.snapshot(wall_seconds) if tracer is not None else None,
+        trace_events=(
+            list(tracer.events)
+            if tracer is not None and tracer.mode == "trace" else None
+        ),
     )
 
 
@@ -306,7 +337,8 @@ def _dump(
     grid: BlockGrid,
     origin_cells: tuple[int, int, int],
     step: int,
-    timers: _Timers,
+    timers: PhaseTimers,
+    tracer=None,
 ) -> list[dict]:
     """Compress and collectively write p and Gamma (one file each)."""
     fld = grid.to_array()
@@ -330,6 +362,10 @@ def _dump(
                 comm, path, name, cf,
                 rank_meta={"origin_cells": list(origin_cells)},
             )
+        if tracer is not None:
+            tracer.count("fwt_cells", data.size)
+            tracer.count("io_raw_bytes", cf.stats.raw_bytes)
+            tracer.count("io_compressed_bytes", cf.stats.compressed_bytes)
         out.append(
             {
                 "step": step,
@@ -409,6 +445,9 @@ class Simulation:
             for rr in rank_results
             if rr.sanitizer_report is not None
         ]
+        snapshots = [
+            rr.telemetry for rr in rank_results if rr.telemetry is not None
+        ]
         return RunResult(
             records=rank_results[0].records,
             final_field=final,
@@ -417,5 +456,9 @@ class Simulation:
             config=self.config,
             sanitizer_report=(
                 ViolationReport.merged(reports) if reports else None
+            ),
+            wall_seconds=max(rr.wall_seconds for rr in rank_results),
+            telemetry=(
+                MetricsSnapshot.merged(snapshots) if snapshots else None
             ),
         )

@@ -84,12 +84,19 @@ class RemoteGhostProvider:
 
 
 class HaloExchange:
-    """Non-blocking six-message halo exchange for one rank."""
+    """Non-blocking six-message halo exchange for one rank.
 
-    def __init__(self, comm: SimComm, topo: CartTopology, grid: BlockGrid):
+    ``tracer`` is an optional :class:`repro.telemetry.Tracer`; when set,
+    :meth:`start` counts the posted messages and ghost bytes
+    (``halo_messages`` / ``halo_bytes``) for the run metrics snapshot.
+    """
+
+    def __init__(self, comm: SimComm, topo: CartTopology, grid: BlockGrid,
+                 tracer=None):
         self.comm = comm
         self.topo = topo
         self.grid = grid
+        self.tracer = tracer
         self._neighbors = topo.neighbors(comm.rank)
 
     def halo_split(self) -> tuple[list, list]:
@@ -127,6 +134,9 @@ class HaloExchange:
                 pending[(axis, side)] = self.comm.irecv(
                     source=nbr, tag=_face_tag(axis, -side)
                 )
+                if self.tracer is not None:
+                    self.tracer.count("halo_messages")
+                    self.tracer.count("halo_bytes", slab.nbytes)
         return pending
 
     def finish(self, pending: dict[tuple[int, int], Request]) -> RemoteGhostProvider:

@@ -17,11 +17,12 @@ streams with a compact framing header.
 from __future__ import annotations
 
 import struct
-import time
 import zlib
 from dataclasses import dataclass
 
 import numpy as np
+
+from ..telemetry.clock import now
 
 #: Framing magic for an encoded multi-stream payload.
 _MAGIC = b"RPRW"
@@ -86,9 +87,9 @@ class StreamEncoder:
         for s in range(num_streams):
             part = blocks[bounds[s] : bounds[s + 1]]
             raw = b"".join(np.ascontiguousarray(b).tobytes() for b in part)
-            t0 = time.perf_counter()
+            t0 = now()
             comp = zlib.compress(raw, self.level)
-            elapsed = time.perf_counter() - t0
+            elapsed = now() - t0
             chunks.append(_STREAM_HEADER.pack(len(comp), len(part)))
             chunks.append(comp)
             stats.append(

@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..telemetry.clock import now
 from .scheme import CompressedField, WaveletCompressor
 
 #: Fixed header size: JSON padded with spaces.  Large enough for hundreds
@@ -74,11 +74,11 @@ def write_compressed_parallel(
             f.write(blob.ljust(HEADER_SIZE))
     comm.barrier()  # header exists before anyone writes payloads
 
-    t0 = time.perf_counter()
+    t0 = now()
     with open(path, "r+b") as f:
         f.seek(offset)
         f.write(cf.payload)
-    elapsed = time.perf_counter() - t0
+    elapsed = now() - t0
     comm.barrier()  # file complete before anyone proceeds
     return WriteStats(offset=offset, nbytes=size, seconds=elapsed)
 

@@ -15,12 +15,12 @@ Design features reproduced from the paper:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..node.dispatcher import simulate_dynamic_schedule
+from ..telemetry.clock import now
 from ..node.sfc import morton_order
 from . import zerotree
 from .decimation import DecimationStats, decimate, guaranteed_threshold
@@ -179,7 +179,7 @@ class WaveletCompressor:
         dec_seconds = np.empty(len(order))
         dec_stats: list[DecimationStats] = []
         for i, (bz, by, bx) in enumerate(order):
-            t0 = time.perf_counter()
+            t0 = now()
             blk = fld[
                 bz * bs : (bz + 1) * bs,
                 by * bs : (by + 1) * bs,
@@ -191,7 +191,7 @@ class WaveletCompressor:
                     decimate(coeffs, levels, self.eps,
                              guaranteed=self.guaranteed)
                 )
-            dec_seconds[i] = time.perf_counter() - t0
+            dec_seconds[i] = now() - t0
             coeff_blocks.append(coeffs)
 
         if self.encoder_kind == "zerotree":
@@ -227,17 +227,16 @@ class WaveletCompressor:
     def _encode_zerotree(self, blocks, levels):
         """Per-block EZW payloads, length-prefixed and concatenated."""
         import struct
-        import time as _time
 
         t_stop = self._zerotree_t_stop(levels)
         chunks = [struct.pack("<I", len(blocks))]
         stats: list[EncodeStats] = []
         for c in blocks:
-            t0 = _time.perf_counter()
+            t0 = now()
             payload, zst = zerotree.encode(
                 np.asarray(c, dtype=np.float64), levels, t_stop=t_stop
             )
-            elapsed = _time.perf_counter() - t0
+            elapsed = now() - t0
             chunks.append(struct.pack("<I", len(payload)))
             chunks.append(payload)
             stats.append(

@@ -35,7 +35,7 @@ class TimeStepper:
     stages: tuple[RKStage, ...] = ()
 
     def advance(self, U: np.ndarray, rhs_fn, dt: float,
-                sanitizer=None) -> np.ndarray:
+                sanitizer=None, tracer=None) -> np.ndarray:
         """Array-level convenience driver (used by tests and examples).
 
         ``rhs_fn(U) -> dU/dt`` must accept and return arrays shaped like
@@ -44,14 +44,28 @@ class TimeStepper:
         instead, which interleaves ghost exchange between stages; the
         arithmetic is identical.  ``sanitizer`` is an optional
         :class:`repro.analysis.sanitizer.NumericsSanitizer` checked after
-        every stage.
+        every stage; ``tracer`` is an optional
+        :class:`repro.telemetry.Tracer` that records per-stage RHS/UP
+        spans and cell-update counters.
         """
         U = U.copy()
         S = np.zeros_like(U)
         for si, stage in enumerate(self.stages):
-            S *= stage.a
-            S += dt * rhs_fn(U)
-            U += stage.b * S
+            if tracer is not None:
+                with tracer.span("RHS"):
+                    R = rhs_fn(U)
+                with tracer.span("UP"):
+                    S *= stage.a
+                    S += dt * R
+                    U += stage.b * S
+                tracer.count("rhs_cell_updates", U[..., 0].size
+                             if U.ndim > 1 else U.size)
+                tracer.count("up_cell_updates", U[..., 0].size
+                             if U.ndim > 1 else U.size)
+            else:
+                S *= stage.a
+                S += dt * rhs_fn(U)
+                U += stage.b * S
             if sanitizer is not None:
                 sanitizer.check_state(U, where=f"{self.name} stage {si + 1}")
         return U

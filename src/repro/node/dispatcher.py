@@ -25,11 +25,12 @@ from __future__ import annotations
 
 import heapq
 import queue
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
+
+from ..telemetry.clock import now
 
 
 @dataclass
@@ -98,9 +99,9 @@ class Dispatcher:
             results = []
             durations = np.empty(len(items))
             for i, item in enumerate(items):
-                t0 = time.perf_counter()
+                t0 = now()
                 results.append(fn(item))
-                durations[i] = time.perf_counter() - t0
+                durations[i] = now() - t0
             stats = simulate_dynamic_schedule(durations, self.num_workers)
             return results, stats
         return self._run_threads(items, fn)
@@ -119,18 +120,18 @@ class Dispatcher:
                     i, item = work.get_nowait()
                 except queue.Empty:
                     return
-                t0 = time.perf_counter()
+                t0 = now()
                 results[i] = fn(item)
-                dt = time.perf_counter() - t0
+                dt = now() - t0
                 durations[i] = dt
                 busy[wid] += dt
 
-        t_start = time.perf_counter()
+        t_start = now()
         with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
             futures = [pool.submit(worker, w) for w in range(self.num_workers)]
             for f in futures:
                 f.result()
-        makespan = time.perf_counter() - t_start
+        makespan = now() - t_start
         return results, ScheduleStats(
             busy=busy, makespan=makespan, item_durations=durations
         )

@@ -37,6 +37,11 @@ class NodeSolver:
     use_slices:
         Use the ring-buffer streaming RHS instead of the whole-block
         vectorized one (identical numerics, different memory behaviour).
+    tracer:
+        Optional :class:`repro.telemetry.Tracer`; when set, the solver
+        counts kernel work (``rhs_cell_updates``, ``up_cell_updates``,
+        ``dt_cell_evals``, ``rhs_block_evals``) that the metrics snapshot
+        prices with the analytic FLOP model.
     """
 
     def __init__(
@@ -48,6 +53,7 @@ class NodeSolver:
         use_slices: bool = False,
         order: int = 5,
         solver: str = "hlle",
+        tracer=None,
     ):
         self.grid = grid
         self.boundary = boundary or BoundarySpec.all_extrapolate()
@@ -56,6 +62,7 @@ class NodeSolver:
         self.use_slices = use_slices
         self.order = order
         self.solver = solver
+        self.tracer = tracer
         self._tls = threading.local()
         self.last_schedule: ScheduleStats | None = None
 
@@ -98,6 +105,11 @@ class NodeSolver:
             block_list, lambda b: self.rhs_for_block(b, remote_provider)
         )
         self.last_schedule = stats
+        if self.tracer is not None:
+            self.tracer.count("rhs_block_evals", len(block_list))
+            self.tracer.count(
+                "rhs_cell_updates", len(block_list) * self.grid.block_size ** 3
+            )
         return {b.index: r for b, r in zip(block_list, results)}
 
     def update(
@@ -118,7 +130,16 @@ class NodeSolver:
             block = self.grid.blocks[idx]
             update_stage(block.data, self.grid.residual(idx), rhs, a, b, dt,
                          sanitizer=sanitizer, block=idx)
+        if self.tracer is not None:
+            self.tracer.count(
+                "up_cell_updates", len(rhs_map) * self.grid.block_size ** 3
+            )
 
     def max_sos(self) -> float:
         """Rank-local SOS reduction (maximum characteristic velocity)."""
+        if self.tracer is not None:
+            self.tracer.count(
+                "dt_cell_evals",
+                len(self.grid.blocks) * self.grid.block_size ** 3,
+            )
         return max(sos_kernel(b.data) for b in self.grid.blocks.values())

@@ -7,11 +7,21 @@ from collections.abc import Iterable, Mapping
 
 def format_table(rows: Iterable[Mapping], title: str | None = None,
                  floatfmt: str = "{:.2f}") -> str:
-    """Render a list of dict rows as an aligned text table."""
+    """Render a list of dict rows as an aligned text table.
+
+    Rows may have heterogeneous keys: the columns are the union of all
+    row keys in first-seen order, and missing cells render blank.
+    """
     rows = list(rows)
     if not rows:
         return "(empty table)"
-    cols = list(rows[0].keys())
+    cols: list[str] = []
+    seen = set()
+    for row in rows:
+        for c in row.keys():
+            if c not in seen:
+                seen.add(c)
+                cols.append(c)
     rendered = []
     for row in rows:
         rendered.append(

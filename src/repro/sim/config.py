@@ -36,6 +36,13 @@ class SimulationConfig:
     #: :mod:`repro.analysis.sanitizer`.
     sanitize: str = "off"
     sanitize_p_min: float = 0.0  #: pressure floor used by the sanitizer
+    #: run telemetry policy: "off" (production default; the step loop
+    #: carries no telemetry objects), "metrics" (phase/counter snapshot
+    #: on the results) or "trace" (metrics + per-rank span events
+    #: exportable as a Perfetto timeline).  See :mod:`repro.telemetry`.
+    telemetry: str = "off"
+    #: bound of the per-rank span-event buffer in trace mode
+    telemetry_max_events: int = 65536
 
     # -- parallelization ---------------------------------------------------
     ranks: int = 1  #: simulated MPI ranks
@@ -89,6 +96,14 @@ class SimulationConfig:
             raise ValueError(
                 f"sanitize={self.sanitize!r} not in {POLICIES}"
             )
+        from ..telemetry import MODES
+
+        if self.telemetry not in MODES:
+            raise ValueError(
+                f"telemetry={self.telemetry!r} not in {MODES}"
+            )
+        if self.telemetry_max_events < 0:
+            raise ValueError("telemetry_max_events must be >= 0")
 
     @property
     def h(self) -> float:

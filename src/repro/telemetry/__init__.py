@@ -1,0 +1,59 @@
+"""Structured run telemetry: tracing, kernel metrics, run scorecards.
+
+The observability backbone of the reproduction (see ``docs/telemetry.md``):
+
+* :class:`Tracer` / :func:`make_tracer` -- nested phase spans and named
+  counters per rank, with a bounded trace-event buffer;
+* :class:`PhaseTimers` -- the zero-overhead telemetry-off baseline whose
+  dict payload is the driver's legacy timers shape;
+* :class:`MetricsSnapshot` -- the JSON metrics summary attached to
+  ``RankResult`` / ``RunResult``;
+* :func:`write_chrome_trace` -- Perfetto-loadable per-rank timelines;
+* :func:`format_run_scorecard` -- the paper-style run table
+  (time-in-phase %, Gcells/s, modeled FLOP/s, I/O fraction);
+* :mod:`repro.telemetry.clock` -- the sanctioned timing source enforced
+  by lint rule ``CL009``.
+"""
+
+from .clock import now, wall_now
+from .export import (
+    chrome_trace_events,
+    metrics_json,
+    run_trace_events,
+    write_chrome_trace,
+)
+from .scorecard import (
+    PAPER_IO_FRACTION,
+    format_run_scorecard,
+    io_fraction,
+    run_scorecard_rows,
+)
+from .tracer import (
+    DEFAULT_MAX_EVENTS,
+    MODES,
+    MetricsSnapshot,
+    PhaseTimers,
+    SpanEvent,
+    Tracer,
+    make_tracer,
+)
+
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "MODES",
+    "MetricsSnapshot",
+    "PAPER_IO_FRACTION",
+    "PhaseTimers",
+    "SpanEvent",
+    "Tracer",
+    "chrome_trace_events",
+    "format_run_scorecard",
+    "io_fraction",
+    "make_tracer",
+    "metrics_json",
+    "now",
+    "run_scorecard_rows",
+    "run_trace_events",
+    "wall_now",
+    "write_chrome_trace",
+]

@@ -1,0 +1,23 @@
+"""The repository's single sanctioned timing source.
+
+Every wall-clock measurement in the solver layers flows through these two
+helpers so that (a) all phase timing shares one monotonic clock with the
+:class:`repro.telemetry.Tracer` spans and (b) the ``CL009`` lint rule can
+statically guarantee no timing side channels exist that the trace
+exporters cannot see.  ``repro/telemetry`` is the only package allowed to
+touch :mod:`time` directly.
+
+``now`` is the monotonic high-resolution clock used for durations;
+``wall_now`` is the epoch-based wall clock used for timestamps stored in
+file metadata (checkpoints, dump headers).
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Monotonic high-resolution clock; returns seconds as a float.
+now = time.perf_counter
+
+#: Epoch wall clock for metadata timestamps; returns seconds as a float.
+wall_now = time.time

@@ -1,0 +1,89 @@
+"""Telemetry exporters: Chrome trace-event JSON and metrics JSON.
+
+The trace exporter emits the Chrome trace-event format (`"X"` complete
+events with microsecond ``ts``/``dur``), which both Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing`` load directly.  Each
+rank becomes one named timeline row (``tid`` = rank); span nesting is
+reconstructed by the viewer from interval containment, and each event
+additionally carries its recorded nesting ``depth`` in ``args``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Mapping
+
+from .tracer import MetricsSnapshot, SpanEvent
+
+
+def chrome_trace_events(
+    events_by_rank: Mapping[int, Iterable[SpanEvent]],
+) -> list[dict]:
+    """Flatten per-rank span events into Chrome trace-event dicts.
+
+    Returns the event list (one ``"M"`` thread-name metadata record per
+    rank followed by its ``"X"`` complete events, timestamps in
+    microseconds) ready to be wrapped in a ``traceEvents`` envelope.
+    """
+    out: list[dict] = []
+    for rank in sorted(events_by_rank):
+        out.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+        for e in events_by_rank[rank]:
+            out.append(
+                {
+                    "name": e.name,
+                    "cat": "phase",
+                    "ph": "X",
+                    "ts": round(e.start * 1e6, 3),
+                    "dur": round(e.duration * 1e6, 3),
+                    "pid": 0,
+                    "tid": rank,
+                    "args": {"depth": e.depth},
+                }
+            )
+    return out
+
+
+def run_trace_events(result) -> list[dict]:
+    """Chrome trace-event dicts of a completed run.
+
+    ``result`` is a :class:`repro.cluster.driver.RunResult` whose rank
+    results carry ``trace_events`` (telemetry mode ``"trace"``).  Returns
+    the flattened event list; raises :class:`ValueError` if the run
+    recorded no trace.
+    """
+    events_by_rank = {
+        rr.rank: rr.trace_events
+        for rr in result.rank_results
+        if rr.trace_events is not None
+    }
+    if not events_by_rank:
+        raise ValueError(
+            "run recorded no trace events; rerun with telemetry='trace'"
+        )
+    return chrome_trace_events(events_by_rank)
+
+
+def write_chrome_trace(path: str, result) -> int:
+    """Write a run's Perfetto-loadable trace JSON; returns the event count.
+
+    The file holds ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` --
+    open it at https://ui.perfetto.dev or ``chrome://tracing``.
+    """
+    events = run_trace_events(result)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, f)
+    return len(events)
+
+
+def metrics_json(snapshot: MetricsSnapshot, indent: int | None = 2) -> str:
+    """Returns a :class:`MetricsSnapshot` serialized as a JSON string."""
+    return json.dumps(snapshot.to_dict(), indent=indent, sort_keys=True)

@@ -29,9 +29,9 @@ def rules_of(violations):
 # -- registry & framework ------------------------------------------------
 
 
-def test_registry_has_the_eight_rules():
+def test_registry_has_the_nine_rules():
     ids = [cls.rule_id for cls in registered_rules()]
-    assert ids == [f"CL00{i}" for i in range(1, 9)]
+    assert ids == [f"CL00{i}" for i in range(1, 10)]
     for cls in registered_rules():
         assert cls.name and cls.description
 
@@ -289,6 +289,80 @@ def test_cl008_clean_with_ring_depth_constant():
         """
     )
     assert "CL008" not in rules_of(out)
+
+
+# -- CL009: raw timing calls ---------------------------------------------
+
+
+def test_cl009_flags_raw_perf_counter_in_cluster():
+    out = lint(
+        """
+        import time
+        t0 = time.perf_counter()
+        """,
+        path="src/repro/cluster/fixture.py",
+    )
+    assert "CL009" in rules_of(out)
+
+
+def test_cl009_flags_aliased_and_from_imports():
+    out = lint(
+        """
+        import time as _t
+        from time import time as wall
+        a = _t.perf_counter_ns()
+        b = wall()
+        """,
+        path="src/repro/compression/fixture.py",
+    )
+    assert rules_of(out).count("CL009") == 2
+
+
+def test_cl009_allows_monotonic_deadlines():
+    # time.monotonic is timeout bookkeeping, not phase timing (mpi_sim).
+    out = lint(
+        """
+        import time
+        deadline = time.monotonic() + 5.0
+        """,
+        path="src/repro/cluster/fixture.py",
+    )
+    assert "CL009" not in rules_of(out)
+
+
+def test_cl009_clean_with_telemetry_clock():
+    out = lint(
+        """
+        from repro.telemetry.clock import now
+        t0 = now()
+        """,
+        path="src/repro/node/fixture.py",
+    )
+    assert "CL009" not in rules_of(out)
+
+
+def test_cl009_out_of_scope_in_telemetry_and_perf():
+    text = """
+        import time
+        t0 = time.perf_counter()
+        """
+    assert "CL009" not in rules_of(
+        lint(text, path="src/repro/telemetry/clock.py")
+    )
+    assert "CL009" not in rules_of(
+        lint(text, path="src/repro/perf/fixture.py")
+    )
+
+
+def test_cl009_pragma_disables_site():
+    out = lint(
+        """
+        import time
+        t0 = time.time()  # lint: disable=CL009
+        """,
+        path="src/repro/cluster/fixture.py",
+    )
+    assert "CL009" not in rules_of(out)
 
 
 # -- pragmas -------------------------------------------------------------

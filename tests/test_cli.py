@@ -1,5 +1,7 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -20,6 +22,10 @@ class TestParser:
         assert args.field == "f.npy"
         assert args.eps == pytest.approx(1e-2)
 
+    def test_telemetry_defaults_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.telemetry == "off" and args.trace_out is None
+
 
 class TestCommands:
     def test_report(self, capsys):
@@ -32,6 +38,28 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "max p" in out and "timers" in out
+        assert "Mcells/s" in out  # wall-clock summary, telemetry off
+        assert "scorecard" not in out
+
+    def test_run_telemetry_prints_scorecard(self, capsys):
+        rc = main(["run", "--cells", "16", "--bubbles", "2", "--steps", "2",
+                   "--telemetry", "metrics"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Run scorecard" in out
+        assert "GFLOP/s" in out and "I/O fraction" in out
+
+    def test_run_trace_out_writes_chrome_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        # --trace-out alone implies --telemetry trace
+        rc = main(["run", "--cells", "16", "--bubbles", "2", "--steps", "2",
+                   "--trace-out", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Run scorecard" in out and "perfetto" in out
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"RHS", "DT", "UP"} <= names
 
     def test_run_with_erosion(self, capsys):
         rc = main([

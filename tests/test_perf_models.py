@@ -229,6 +229,23 @@ class TestReport:
         assert "a" in lines[1] and "b" in lines[1]
         assert len(lines) == 5
 
+    def test_format_table_heterogeneous_rows_union_columns(self):
+        # The telemetry scorecard mixes phase rows and summary rows with
+        # different keys: columns are the union in first-seen order and
+        # missing cells render blank.
+        out = format_table([
+            {"phase": "RHS", "seconds": 1.5},
+            {"phase": "throughput", "Gcells/s": 0.75},
+        ])
+        lines = out.splitlines()
+        header = lines[0]
+        assert header.index("phase") < header.index("seconds")
+        assert header.index("seconds") < header.index("Gcells/s")
+        assert "1.50" in lines[2] and "Gcells/s" not in lines[2]
+        assert "0.75" in lines[3] and "seconds" not in lines[3]
+        # the blank fill keeps every row aligned to the header width
+        assert len({len(line) for line in lines[1:]}) <= 2
+
     def test_compare_row(self):
         row = compare_row("x", paper=10.0, model=11.0)
         assert row["deviation [%]"] == pytest.approx(10.0)
