@@ -18,11 +18,16 @@ contract on block writes, under a configurable policy:
     The first violation raises :class:`NumericsViolationError` carrying
     the block-level findings.
 
-Hook points: :func:`repro.core.kernels.update_stage` (post-UP state and
-storage dtype), :meth:`repro.core.timestepper.TimeStepper.advance`
-(array-level stage checks) and :func:`repro.cluster.driver.rank_main`
-(initial condition + per-stage context), surfaced through
-``RunResult.sanitizer_report`` and the ``run --sanitize`` CLI flag.
+Hook points cover every kernel path of the step loop:
+:func:`repro.core.kernels.update_stage` (post-UP state and storage
+dtype), :meth:`repro.node.solver.NodeSolver.evaluate_rhs` (per-block RHS
+finiteness), :meth:`repro.node.solver.NodeSolver.max_sos` (per-block SOS
+finiteness), :func:`repro.cluster.driver._dump` (FWT input fields),
+:meth:`repro.core.timestepper.TimeStepper.advance` (array-level stage
+checks) and :func:`repro.cluster.driver.rank_main` (initial condition +
+per-stage context), surfaced through ``RunResult.sanitizer_report`` and
+the ``run --sanitize`` CLI flag.  Findings are localized to the block
+index and the offending quantity name (:attr:`NumericsViolation.field`).
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from ..physics.eos import pressure
 from ..physics.state import (
     ENERGY,
     GAMMA,
+    NAMES,
     NQ,
     PI,
     RHO,
@@ -63,13 +69,18 @@ class NumericsViolation:
     block: tuple[int, int, int] | None  #: block index, if block-resolved
     count: int  #: number of offending cells (1 for dtype violations)
     worst: float  #: most extreme offending value (nan for non-finite)
+    #: offending quantity name(s), comma-joined from
+    #: :data:`repro.physics.state.NAMES` (or a caller-supplied label such
+    #: as ``"sos"``); ``None`` when the quantity axis cannot be resolved.
+    field: str | None = None
 
     def format(self) -> str:
         """Returns a one-line human-readable description."""
         loc = f" block {self.block}" if self.block is not None else ""
+        fld = f" field {self.field}" if self.field else ""
         return (
-            f"{self.check} at {self.where}{loc}: {self.count} cell(s), "
-            f"worst {self.worst:g}"
+            f"{self.check} at {self.where}{loc}{fld}: {self.count} "
+            f"cell(s), worst {self.worst:g}"
         )
 
 
@@ -151,6 +162,65 @@ class NumericsSanitizer:
 
     # -- checks ---------------------------------------------------------
 
+    def _finite_violations(
+        self,
+        arr: np.ndarray,
+        where: str,
+        block: tuple[int, int, int] | None,
+        field: str | None = None,
+    ) -> list[NumericsViolation]:
+        """Finiteness findings of one array, localized to quantity names.
+
+        Returns an empty list for finite data, else a single
+        ``non_finite`` violation.  When ``field`` is not supplied and the
+        array carries the trailing quantity axis, the offending quantity
+        names are resolved from :data:`repro.physics.state.NAMES` and
+        comma-joined into :attr:`NumericsViolation.field`.
+        """
+        finite = np.isfinite(arr)
+        if finite.all():
+            return []
+        if field is None and arr.ndim >= 1 and arr.shape[-1] == NQ:
+            bad = ~finite
+            field = ",".join(
+                NAMES[q] for q in range(NQ) if bad[..., q].any()
+            )
+        return [
+            NumericsViolation(
+                check="non_finite",
+                where=where,
+                block=block,
+                count=int(arr.size - finite.sum()),
+                worst=float("nan"),
+                field=field,
+            )
+        ]
+
+    def check_finite(
+        self,
+        arr: np.ndarray,
+        where: str | None = None,
+        block: tuple[int, int, int] | None = None,
+        field: str | None = None,
+    ) -> list[NumericsViolation]:
+        """Finiteness-only check for non-state arrays; returns findings.
+
+        Used by the RHS / SOS / FWT hook sites, whose arrays are time
+        derivatives, reductions or single scalar fields: the state
+        invariants (positive density, pressure floor) do not apply there,
+        only the no-NaN/Inf contract.  ``field`` labels findings whose
+        quantity cannot be inferred from the array shape (e.g. ``"sos"``
+        for the speed-of-sound reduction, ``"p"`` for the pressure dump).
+        """
+        if self.policy == "off":
+            return []
+        found = self._finite_violations(
+            np.asarray(arr), where or self.context, block, field
+        )
+        self.report.checks_run += 1
+        self._handle(found)
+        return found
+
     def check_state(
         self,
         aos: np.ndarray,
@@ -166,20 +236,12 @@ class NumericsSanitizer:
         """
         if self.policy == "off":
             return []
+        aos = np.asarray(aos)
         where = where or self.context
-        found: list[NumericsViolation] = []
-        finite = np.isfinite(aos)
-        if not finite.all():
-            found.append(
-                NumericsViolation(
-                    check="non_finite",
-                    where=where,
-                    block=block,
-                    count=int(aos.size - finite.sum()),
-                    worst=float("nan"),
-                )
-            )
-        elif aos.ndim >= 1 and aos.shape[-1] == NQ:
+        found: list[NumericsViolation] = list(
+            self._finite_violations(aos, where, block)
+        )
+        if not found and aos.ndim >= 1 and aos.shape[-1] == NQ:
             f = np.asarray(aos, dtype=COMPUTE_DTYPE)
             rho = f[..., RHO]
             if (rho <= 0.0).any():
@@ -190,6 +252,7 @@ class NumericsSanitizer:
                         block=block,
                         count=int((rho <= 0.0).sum()),
                         worst=float(rho.min()),
+                        field="rho",
                     )
                 )
             G = f[..., GAMMA]
@@ -201,6 +264,7 @@ class NumericsSanitizer:
                         block=block,
                         count=int((G < 0.0).sum()),
                         worst=float(G.min()),
+                        field="Gamma",
                     )
                 )
             if not found:
@@ -216,6 +280,7 @@ class NumericsSanitizer:
                             block=block,
                             count=int((p < self.p_min).sum()),
                             worst=float(p.min()),
+                            field="p",
                         )
                     )
         self.report.checks_run += 1

@@ -9,12 +9,16 @@ Three subcommands mirror the workflow of the paper's software:
     Print the performance-model reproduction of every paper table.
 ``compress``
     Wavelet-compress a 3D ``.npy`` scalar field to a dump file (and back).
+``validate``
+    Run the physics V&V suite against the committed golden baselines
+    (forwards its flags to :mod:`repro.validation.cli`).
 
 Usage::
 
     python -m repro.cli run --cells 32 --bubbles 4
     python -m repro.cli report
     python -m repro.cli compress field.npy --eps 1e-3
+    python -m repro.cli validate --suite smoke --check
 """
 
 from __future__ import annotations
@@ -149,6 +153,13 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Delegate to the validation CLI (single source of truth)."""
+    from .validation.cli import main as validation_main
+
+    return validation_main(list(args.validation_args))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the repro CLI."""
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -191,11 +202,27 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--paper-thresholds", action="store_true",
                       help="raw thresholds (no strict L-inf guarantee)")
     comp.set_defaults(func=_cmd_compress)
+
+    val = sub.add_parser(
+        "validate", add_help=False,
+        help="run the physics V&V suite (see python -m repro.validation "
+             "--help)",
+    )
+    val.add_argument("validation_args", nargs=argparse.REMAINDER,
+                     help="flags forwarded to repro.validation")
+    val.set_defaults(func=_cmd_validate)
     return ap
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # "validate" forwards everything to the validation CLI up front:
+    # argparse's REMAINDER does not capture leading option tokens.
+    if argv[:1] == ["validate"]:
+        from .validation.cli import main as validation_main
+
+        return validation_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

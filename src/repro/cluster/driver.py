@@ -235,8 +235,11 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
     compression_stats: list[dict] = []
     while step < config.max_steps and t < config.t_end:
         # -- DT kernel: SOS reduction -> CFL time step -------------------
+        if sanitizer is not None:
+            sanitizer.set_context(f"step {step + 1} DT")
         with timers.span("DT"):
-            sos = comm.allreduce(solver.max_sos(), op="max")
+            sos = comm.allreduce(solver.max_sos(sanitizer=sanitizer),
+                                 op="max")
             if not np.isfinite(sos):
                 raise RuntimeError(
                     f"solution diverged at step {step}: non-finite "
@@ -254,11 +257,14 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
                 sanitizer.set_context(f"step {step + 1} stage {si + 1}")
             with timers.span("RHS"):
                 pending = halo.start()
-                rhs_map = solver.evaluate_rhs(interior)
+                rhs_map = solver.evaluate_rhs(interior, sanitizer=sanitizer)
             with timers.span("COMM_WAIT"):
                 provider = halo.finish(pending)
             with timers.span("RHS"):
-                rhs_map.update(solver.evaluate_rhs(halo_blocks, provider))
+                rhs_map.update(
+                    solver.evaluate_rhs(halo_blocks, provider,
+                                        sanitizer=sanitizer)
+                )
             with timers.span("UP"):
                 solver.update(rhs_map, stage.a, stage.b, dt,
                               sanitizer=sanitizer)
@@ -290,7 +296,7 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
         if config.dump_interval and step % config.dump_interval == 0:
             with timers.span("IO_WAVELET"):
                 stats = _dump(comm, config, grid, origin_cells, step, timers,
-                              tracer)
+                              tracer, sanitizer=sanitizer)
                 compression_stats.extend(stats)
 
         # -- lossless checkpoints ----------------------------------------
@@ -339,13 +345,25 @@ def _dump(
     step: int,
     timers: PhaseTimers,
     tracer=None,
+    sanitizer=None,
 ) -> list[dict]:
-    """Compress and collectively write p and Gamma (one file each)."""
+    """Compress and collectively write p and Gamma (one file each).
+
+    ``sanitizer`` (an optional
+    :class:`repro.analysis.sanitizer.NumericsSanitizer`) checks the FWT
+    input fields for NaN/Inf before they reach the wavelet transform,
+    labelling findings with the dumped quantity name.
+    """
     fld = grid.to_array()
     quantities = {
         "p": (pressure_field(fld).astype(STORAGE_DTYPE), config.eps_pressure),
         "Gamma": (fld[..., GAMMA].astype(STORAGE_DTYPE), config.eps_gamma),
     }
+    if sanitizer is not None:
+        for name, (data, _) in quantities.items():
+            sanitizer.check_finite(
+                data, where=f"FWT ({sanitizer.context})", field=name
+            )
     out = []
     for name, (data, eps) in quantities.items():
         compressor = WaveletCompressor(

@@ -93,18 +93,27 @@ class NodeSolver:
         self,
         blocks=None,
         remote_provider=None,
+        sanitizer=None,
     ) -> dict[tuple[int, int, int], np.ndarray]:
         """RHS of many blocks through the dispatcher; returns per-index map.
 
         ``blocks`` defaults to all blocks in SFC order (the paper's
         dispatch order); the cluster layer passes the interior subset
         first and the halo subset after the ghost messages arrive.
+        ``sanitizer`` (an optional
+        :class:`repro.analysis.sanitizer.NumericsSanitizer`) checks every
+        block's time derivative for NaN/Inf, localizing findings to the
+        block index and the offending quantity.
         """
         block_list = list(blocks) if blocks is not None else list(self.grid.sfc_blocks())
         results, stats = self.dispatcher.run(
             block_list, lambda b: self.rhs_for_block(b, remote_provider)
         )
         self.last_schedule = stats
+        if sanitizer is not None:
+            where = f"RHS ({sanitizer.context})"
+            for blk, rhs in zip(block_list, results):
+                sanitizer.check_finite(rhs, where=where, block=blk.index)
         if self.tracer is not None:
             self.tracer.count("rhs_block_evals", len(block_list))
             self.tracer.count(
@@ -135,11 +144,27 @@ class NodeSolver:
                 "up_cell_updates", len(rhs_map) * self.grid.block_size ** 3
             )
 
-    def max_sos(self) -> float:
-        """Rank-local SOS reduction (maximum characteristic velocity)."""
+    def max_sos(self, sanitizer=None) -> float:
+        """Rank-local SOS reduction (maximum characteristic velocity).
+
+        ``sanitizer`` (an optional
+        :class:`repro.analysis.sanitizer.NumericsSanitizer`) checks each
+        block's reduction for NaN/Inf so a diverged block is reported by
+        index before the global allreduce collapses it to a single value.
+        """
         if self.tracer is not None:
             self.tracer.count(
                 "dt_cell_evals",
                 len(self.grid.blocks) * self.grid.block_size ** 3,
             )
-        return max(sos_kernel(b.data) for b in self.grid.blocks.values())
+        if sanitizer is None:
+            return max(sos_kernel(b.data) for b in self.grid.blocks.values())
+        where = f"SOS ({sanitizer.context})"
+        values = []
+        for idx, block in self.grid.blocks.items():
+            s = sos_kernel(block.data)
+            sanitizer.check_finite(
+                np.asarray(s), where=where, block=idx, field="sos"
+            )
+            values.append(s)
+        return max(values)

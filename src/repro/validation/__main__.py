@@ -1,0 +1,6 @@
+"""Entry point: ``python -m repro.validation`` runs the V&V CLI."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

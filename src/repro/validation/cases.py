@@ -1,0 +1,486 @@
+"""Case registry of canonical V&V problems.
+
+Each :class:`ValidationCase` bundles a runner (producing a flat dict of
+scalar metrics), the per-metric acceptance contracts
+(:class:`repro.validation.baselines.MetricSpec`) and the suites it
+belongs to (``smoke`` is the fast CI subset, ``full`` adds the slower
+collapse and stiffened-tube problems).
+
+The catalogue follows the validation lineage of the paper and of
+production multiphase solvers:
+
+``riemann_sod``
+    Ideal-gas Sod shock tube through the full driver stack, profiled
+    against :mod:`repro.physics.exact_riemann`.
+``riemann_stiffened`` (full suite)
+    Stiffened-gas (liquid EOS) shock tube against the same exact solver
+    with nonzero ``p_c``.
+``acoustic_convergence``
+    Smooth acoustic wave integrated in float64; records the L1 errors at
+    two resolutions and the measured convergence order (hard bound
+    ``order >= 2.5``).
+``interface_advection``
+    Liquid/vapor material interface in uniform (p, u) flow; the
+    quasi-conservative scheme must keep pressure and velocity free of
+    spurious oscillations (Johnsen--Ham invariant).
+``conservation_drift``
+    Fully periodic cloud-collapse start; audits mass/energy/momentum
+    drift against the float32-storage envelope.
+``rayleigh_collapse`` (full suite)
+    Single-bubble collapse against the Rayleigh collapse time from
+    :mod:`repro.physics.rayleigh`.
+
+Driver-backed cases run with ``sanitize="warn"`` and
+``telemetry="metrics"`` and export ``sanitizer_violations`` /
+``telemetry_steps`` metrics, so every validation run doubles as
+sanitizer and telemetry integration coverage.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..physics.state import COMPUTE_DTYPE, GAMMA, RHO, RHOU
+from .baselines import MetricSpec
+
+
+@dataclass(frozen=True)
+class ValidationCase:
+    """One canonical problem plus its per-metric acceptance contracts."""
+
+    name: str
+    title: str  #: one-line description for the catalogue/scorecard
+    suites: tuple[str, ...]  #: suites containing this case
+    metrics: tuple[MetricSpec, ...]
+    runner: Callable[[], dict]  #: produces ``{metric_name: float}``
+
+
+#: Registry of all validation cases, keyed by name (insertion-ordered).
+CASES: dict[str, ValidationCase] = {}
+
+#: Known suite names.
+SUITES = ("smoke", "full")
+
+
+def _register(case: ValidationCase) -> ValidationCase:
+    CASES[case.name] = case
+    return case
+
+
+def get_case(name: str) -> ValidationCase:
+    """Look up a case by name; raises ``ValueError`` with the catalogue."""
+    try:
+        return CASES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown validation case {name!r}; choose from {sorted(CASES)}"
+        ) from None
+
+
+def suite_cases(suite: str) -> list[ValidationCase]:
+    """The cases of one suite, in registry order."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; choose from {SUITES}")
+    return [c for c in CASES.values() if suite in c.suites]
+
+
+# -- shared helpers -------------------------------------------------------
+
+
+def _integration_metrics(result) -> dict:
+    """Sanitizer/telemetry integration metrics common to driver cases.
+
+    ``sanitizer_violations`` must stay exactly zero (the canonical
+    problems are all well-posed) and ``telemetry_steps`` must agree with
+    the number of recorded steps, so a broken sanitizer or telemetry
+    wiring fails validation even when the physics is fine.
+    """
+    out = {"steps": float(len(result.records))}
+    report = result.sanitizer_report
+    out["sanitizer_violations"] = (
+        float(len(report)) if report is not None else float("nan")
+    )
+    snap = result.telemetry
+    out["telemetry_steps"] = (
+        float(snap.counters.get("steps", 0))
+        if snap is not None else float("nan")
+    )
+    return out
+
+
+_INTEGRATION_SPECS = (
+    MetricSpec("steps", atol=2.0,
+               description="completed driver steps"),
+    MetricSpec("sanitizer_violations", atol=0.0, hi=0.0,
+               description="numerics-sanitizer findings (must be 0)"),
+    MetricSpec("telemetry_steps", atol=2.0,
+               description="steps counted by the telemetry tracer"),
+)
+
+
+def _driver_config(**overrides):
+    """A :class:`SimulationConfig` with the validation instrumentation on."""
+    from ..sim.config import SimulationConfig
+
+    base = dict(sanitize="warn", telemetry="metrics", diag_interval=0)
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+# -- case: Sod shock tube -------------------------------------------------
+
+
+def _run_riemann_sod() -> dict:
+    """Ideal-gas Sod tube at 64 cells vs the exact Riemann solution."""
+    from ..cluster import Simulation
+    from ..physics.eos import Material
+    from ..physics.exact_riemann import RiemannSide, sample, solve
+    from ..sim.diagnostics import pressure_field
+    from ..sim.ic import shock_tube
+
+    gas = Material(name="gas", gamma=1.4, pc=0.0)
+    nx, t_end = 64, 0.2
+    ic = shock_tube(
+        {"rho": 1.0, "p": 1.0}, {"rho": 0.125, "p": 0.1},
+        x0=0.5, axis=2, material_left=gas, material_right=gas,
+    )
+    cfg = _driver_config(cells=(8, 8, nx), block_size=8, extent=1.0,
+                         max_steps=10_000, t_end=t_end, cfl=0.3)
+    res = Simulation(cfg, ic).run()
+    rho = res.final_field[4, 4, :, RHO].astype(COMPUTE_DTYPE)
+    x = (np.arange(nx) + 0.5) / nx
+    sol = solve(RiemannSide(1.0, 0.0, 1.0), RiemannSide(0.125, 0.0, 0.1))
+    exact, _, _ = sample(sol, (x - 0.5) / t_end)
+    p = pressure_field(res.final_field)[4, 4, :]
+    plateau = float(np.median(p[int(0.60 * nx):int(0.78 * nx)]))
+    metrics = {
+        "l1_rho": float(np.abs(rho - exact).mean()),
+        "p_star_plateau": plateau,
+        "rho_min": float(rho.min()),
+        "rho_max": float(rho.max()),
+    }
+    metrics.update(_integration_metrics(res))
+    return metrics
+
+
+_register(ValidationCase(
+    name="riemann_sod",
+    title="Sod shock tube (ideal gas) vs exact Riemann solution",
+    suites=("smoke", "full"),
+    metrics=(
+        MetricSpec("l1_rho", rtol=2e-3, hi=0.03,
+                   description="L1 density error vs exact profile"),
+        MetricSpec("p_star_plateau", rtol=5e-3, lo=0.28, hi=0.33,
+                   description="median star-region pressure"),
+        MetricSpec("rho_min", rtol=1e-3, lo=0.115,
+                   description="density minimum (oscillation envelope)"),
+        MetricSpec("rho_max", rtol=1e-3, hi=1.01,
+                   description="density maximum (oscillation envelope)"),
+    ) + _INTEGRATION_SPECS,
+    runner=_run_riemann_sod,
+))
+
+
+# -- case: stiffened-gas shock tube (full suite) --------------------------
+
+
+def _run_riemann_stiffened() -> dict:
+    """Liquid-EOS (stiffened gas) shock tube vs the exact solver."""
+    from ..cluster import Simulation
+    from ..physics.eos import LIQUID, Material
+    from ..physics.exact_riemann import RiemannSide, sample, solve
+    from ..sim.diagnostics import pressure_field
+    from ..sim.ic import shock_tube
+
+    liq = Material(name="liq", gamma=LIQUID.gamma, pc=LIQUID.pc)
+    nx, t_end = 64, 0.05
+    p_l, p_r = 2000.0, 100.0
+    ic = shock_tube(
+        {"rho": 1000.0, "p": p_l}, {"rho": 1000.0, "p": p_r},
+        x0=0.5, axis=2, material_left=liq, material_right=liq,
+    )
+    cfg = _driver_config(cells=(8, 8, nx), block_size=8, extent=1.0,
+                         max_steps=10_000, t_end=t_end, cfl=0.3)
+    res = Simulation(cfg, ic).run()
+    rho = res.final_field[4, 4, :, RHO].astype(COMPUTE_DTYPE)
+    x = (np.arange(nx) + 0.5) / nx
+    sol = solve(
+        RiemannSide(1000.0, 0.0, p_l, gamma=LIQUID.gamma, pc=LIQUID.pc),
+        RiemannSide(1000.0, 0.0, p_r, gamma=LIQUID.gamma, pc=LIQUID.pc),
+    )
+    exact, _, _ = sample(sol, (x - 0.5) / t_end)
+    p = pressure_field(res.final_field)[4, 4, :].astype(COMPUTE_DTYPE)
+    # Star region: between the rarefaction tail and the shock, around the
+    # initial discontinuity (both acoustic waves move ~6 length units/s).
+    lo, hi = int(0.52 * nx), int(0.70 * nx)
+    p_star_med = float(np.median(p[lo:hi]))
+    metrics = {
+        "l1_rho": float(np.abs(rho - exact).mean()),
+        "p_star_rel_err": abs(p_star_med - sol.p_star) / sol.p_star,
+    }
+    metrics.update(_integration_metrics(res))
+    return metrics
+
+
+_register(ValidationCase(
+    name="riemann_stiffened",
+    title="Stiffened-gas shock tube (liquid EOS) vs exact solution",
+    suites=("full",),
+    metrics=(
+        MetricSpec("l1_rho", rtol=5e-3,
+                   description="L1 density error vs exact profile"),
+        MetricSpec("p_star_rel_err", rtol=0.05, hi=0.05,
+                   description="star-pressure relative error vs exact"),
+    ) + _INTEGRATION_SPECS,
+    runner=_run_riemann_stiffened,
+))
+
+
+# -- case: acoustic-wave convergence --------------------------------------
+
+
+def _acoustic_error(nx: int, sanitizer=None) -> float:
+    """L1 pressure error of the float64 semi-discrete acoustic wave."""
+    from ..core.timestepper import LowStorageRK3
+    from ..physics.eos import (
+        LIQUID,
+        conserved_to_primitive,
+        sound_speed,
+        total_energy,
+    )
+    from ..physics.equations import compute_rhs
+    from ..physics.state import NQ
+
+    rho0, p0, eps = 1000.0, 100.0, 1.0
+    c0 = float(sound_speed(rho0, p0, LIQUID.G, LIQUID.P))
+
+    def profile(xs):
+        return np.sin(2 * np.pi * xs) + 0.5 * np.sin(4 * np.pi * xs)
+
+    h = 1.0 / nx
+    x = (np.arange(nx) + 0.5) * h
+    f = eps * profile(x)
+    p = p0 + f
+    u = f / (rho0 * c0)
+    rho = rho0 + f / c0**2
+    U = np.zeros((NQ, 1, 1, nx))
+    U[0, 0, 0] = rho
+    U[1, 0, 0] = rho * u
+    U[4, 0, 0] = total_energy(rho, u, 0.0, 0.0, p, LIQUID.G, LIQUID.P)
+    U[5] = LIQUID.G
+    U[6] = LIQUID.P
+
+    def rhs_fn(state):
+        idx = np.arange(-3, nx + 3) % nx
+        line = state[:, 0, 0, idx]
+        pad = np.broadcast_to(
+            line[:, None, None, :], (NQ, 7, 7, nx + 6)
+        ).copy()
+        return compute_rhs(pad, h)
+
+    stepper = LowStorageRK3()
+    t_end = 0.25 / c0
+    t = 0.0
+    while t < t_end - 1e-15:
+        dt = min(0.3 * h / (c0 * 1.01), t_end - t)
+        U = stepper.advance(U, rhs_fn, dt, sanitizer=sanitizer)
+        t += dt
+    p_num = conserved_to_primitive(U)[4, 0, 0]
+    p_exact = p0 + eps * profile(x - c0 * t_end)
+    return float(np.abs(p_num - p_exact).mean())
+
+
+def _run_acoustic_convergence() -> dict:
+    """Measured WENO5/HLLE/RK3 convergence on a smooth acoustic wave."""
+    from ..analysis.sanitizer import NumericsSanitizer
+
+    sanitizer = NumericsSanitizer(policy="raise")
+    err24 = _acoustic_error(24, sanitizer=sanitizer)
+    err48 = _acoustic_error(48, sanitizer=sanitizer)
+    return {
+        "l1_err_24": err24,
+        "l1_err_48": err48,
+        "order": float(np.log2(err24 / err48)),
+        "sanitizer_violations": float(len(sanitizer.report)),
+    }
+
+
+_register(ValidationCase(
+    name="acoustic_convergence",
+    title="Smooth acoustic wave: L1 errors and measured order",
+    suites=("smoke", "full"),
+    metrics=(
+        MetricSpec("l1_err_24", rtol=1.5e-3,
+                   description="L1 pressure error at 24 cells"),
+        MetricSpec("l1_err_48", rtol=1.5e-3,
+                   description="L1 pressure error at 48 cells"),
+        MetricSpec("order", rtol=0.02, lo=2.5,
+                   description="measured convergence order (>= 2.5)"),
+        MetricSpec("sanitizer_violations", atol=0.0, hi=0.0,
+                   description="stage-check findings (must be 0)"),
+    ),
+    runner=_run_acoustic_convergence,
+))
+
+
+# -- case: interface advection --------------------------------------------
+
+
+def _run_interface_advection() -> dict:
+    """Liquid/vapor interface in uniform (p, u) flow (Johnsen--Ham)."""
+    from ..cluster import Simulation
+    from ..physics.eos import Material
+    from ..sim.diagnostics import pressure_field
+    from ..sim.ic import shock_tube
+
+    u0, p0, t_end, nx = 5.0, 100.0, 0.02, 64
+    ic = shock_tube(
+        {"rho": 1000.0, "p": p0, "u": u0},
+        {"rho": 1.0, "p": p0, "u": u0},
+        x0=0.4, axis=2,
+        material_left=Material("liq", 6.59, 4096.0),
+        material_right=Material("vap", 1.4, 1.0),
+    )
+    cfg = _driver_config(cells=(8, 8, nx), block_size=8, extent=1.0,
+                         max_steps=10_000, t_end=t_end)
+    res = Simulation(cfg, ic).run()
+    fld = res.final_field.astype(COMPUTE_DTYPE)
+    p = pressure_field(res.final_field)
+    u = fld[..., RHOU] / fld[..., RHO]
+    G = fld[4, 4, :, GAMMA]
+    x = (np.arange(nx) + 0.5) / nx
+    mid = 0.5 * (1.0 / 5.59 + 1.0 / 0.4)
+    crossing = float(x[np.argmin(np.abs(G - mid))])
+    metrics = {
+        "p_osc": float(np.abs(p - p0).max()),
+        "u_osc": float(np.abs(u - u0).max()),
+        "interface_pos_err": abs(crossing - (0.4 + u0 * t_end)),
+    }
+    metrics.update(_integration_metrics(res))
+    return metrics
+
+
+_register(ValidationCase(
+    name="interface_advection",
+    title="Material-interface advection: pressure/velocity oscillations",
+    suites=("smoke", "full"),
+    metrics=(
+        MetricSpec("p_osc", rtol=0.25, hi=0.5,
+                   description="max |p - p0| (spurious oscillations)"),
+        MetricSpec("u_osc", rtol=0.5, hi=1e-3,
+                   description="max |u - u0| (spurious oscillations)"),
+        MetricSpec("interface_pos_err", atol=1.0 / 64, hi=2.5 / 64,
+                   description="interface position error vs u0 * t"),
+    ) + _INTEGRATION_SPECS,
+    runner=_run_interface_advection,
+))
+
+
+# -- case: conservation drift ---------------------------------------------
+
+
+def _run_conservation_drift() -> dict:
+    """Fully periodic cloud start: mass/energy/momentum drift audit."""
+    from ..cluster import Simulation
+    from ..physics.state import ENERGY, RHOV, RHOW, STORAGE_DTYPE
+    from ..sim.cloud import Bubble
+    from ..sim.ic import cloud_collapse
+
+    n = 16
+    ic = cloud_collapse([Bubble((0.5, 0.5, 0.5), 0.2)], p_liquid=1000.0)
+    # Smoothed-interface mixture cells transiently carry p < 0 (admissible
+    # while p + Pi_mixture > 0), so the collapse cases use a tension-
+    # tolerant sanitizer floor instead of the strict p >= 0 default.
+    cfg = _driver_config(cells=n, block_size=8, max_steps=10,
+                         periodic=(True, True, True),
+                         sanitize_p_min=-100.0)
+    c = (np.arange(n) + 0.5) / n
+    initial = ic(
+        c[:, None, None], c[None, :, None], c[None, None, :]
+    ).astype(STORAGE_DTYPE).astype(COMPUTE_DTYPE)
+    res = Simulation(cfg, ic).run()
+    final = res.final_field.astype(COMPUTE_DTYPE)
+    mass0, mass1 = initial[..., RHO].sum(), final[..., RHO].sum()
+    e0, e1 = initial[..., ENERGY].sum(), final[..., ENERGY].sum()
+    mom = max(
+        abs(float(final[..., q].sum())) for q in (RHOU, RHOV, RHOW)
+    )
+    metrics = {
+        "mass_drift": abs(mass1 - mass0) / abs(mass0),
+        "energy_drift": abs(e1 - e0) / abs(e0),
+        # Initial momentum is exactly zero; normalize by rho*c per cell.
+        "momentum_drift": mom / (n**3 * 1000.0),
+    }
+    metrics.update(_integration_metrics(res))
+    return metrics
+
+
+_register(ValidationCase(
+    name="conservation_drift",
+    title="Periodic conservation audit (float32-storage drift envelope)",
+    suites=("smoke", "full"),
+    metrics=(
+        MetricSpec("mass_drift", atol=5e-8, hi=5e-6,
+                   description="relative mass drift over 10 steps"),
+        MetricSpec("energy_drift", atol=5e-8, hi=5e-6,
+                   description="relative energy drift over 10 steps"),
+        MetricSpec("momentum_drift", atol=1e-6, hi=1e-4,
+                   description="normalized momentum drift from zero"),
+    ) + _INTEGRATION_SPECS,
+    runner=_run_conservation_drift,
+))
+
+
+# -- case: Rayleigh single-bubble collapse (full suite) -------------------
+
+
+def _run_rayleigh_collapse() -> dict:
+    """Single-bubble collapse vs the Rayleigh collapse time."""
+    from ..cluster import Simulation
+    from ..physics.rayleigh import rayleigh_collapse_time
+    from ..sim.cloud import Bubble
+    from ..sim.ic import cloud_collapse
+
+    R0, p_liquid = 0.3, 1000.0
+    tau = rayleigh_collapse_time(R0, 1000.0, p_liquid - 0.0234)
+    # Tension-tolerant sanitizer floor: see _run_conservation_drift.
+    cfg = _driver_config(cells=16, block_size=8, max_steps=400,
+                         t_end=1.5 * tau, num_workers=2, diag_interval=1,
+                         sanitize_p_min=-100.0)
+    # One-cell interface smoothing (the production CLI default): the
+    # unsmoothed 1000:0.02 pressure jump overshoots to negative density
+    # in the first RK stages at this 5-cells-per-radius resolution.
+    ic = cloud_collapse([Bubble((0.5, 0.5, 0.5), R0)], p_liquid=p_liquid,
+                        smoothing=cfg.h)
+    res = Simulation(cfg, ic).run()
+    vv = res.series("vapor_volume")
+    t_min = float(res.times[int(np.argmin(vv))])
+    v0 = 4.0 / 3.0 * np.pi * R0**3
+    metrics = {
+        "collapse_time_rel_err": abs(t_min - tau) / tau,
+        "pressure_amplification": float(
+            res.series("max_pressure").max() / p_liquid
+        ),
+        "min_vapor_ratio": float(vv.min() / v0),
+    }
+    metrics.update(_integration_metrics(res))
+    return metrics
+
+
+_register(ValidationCase(
+    name="rayleigh_collapse",
+    title="Single-bubble collapse vs Rayleigh collapse time",
+    suites=("full",),
+    metrics=(
+        MetricSpec("collapse_time_rel_err", atol=0.03, hi=0.2,
+                   description="|t_collapse - tau_Rayleigh| / tau"),
+        MetricSpec("pressure_amplification", rtol=0.1, lo=2.0,
+                   description="peak pressure / ambient (focusing)"),
+        MetricSpec("min_vapor_ratio", atol=0.05, hi=0.6,
+                   description="minimum vapor volume / initial volume"),
+    ) + _INTEGRATION_SPECS,
+    runner=_run_rayleigh_collapse,
+))

@@ -1,0 +1,96 @@
+"""Command-line interface of the V&V suite.
+
+Usage::
+
+    python -m repro.validation --suite smoke --check
+    python -m repro.validation --case riemann_sod --diff
+    python -m repro.validation --suite full --record
+    python -m repro.validation --list
+
+Also reachable as ``python -m repro.cli validate <same flags>``.  Exit
+status is 0 when every executed case satisfies its contracts (``diff``
+mode always exits 0), 1 on a tolerance or hard-bound breach, 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .cases import CASES, SUITES, get_case, suite_cases
+from .runner import format_scorecard, run_suite, suite_passed
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser of the validation CLI."""
+    ap = argparse.ArgumentParser(
+        prog="repro.validation", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument("--suite", choices=SUITES, default="smoke",
+                    help="which case suite to run (default: smoke)")
+    ap.add_argument("--case", action="append", default=None,
+                    metavar="NAME",
+                    help="run only the named case (repeatable; overrides "
+                         "--suite)")
+    mode = ap.add_mutually_exclusive_group()
+    mode.add_argument("--check", dest="mode", action="store_const",
+                      const="check",
+                      help="compare against committed baselines (default)")
+    mode.add_argument("--record", dest="mode", action="store_const",
+                      const="record",
+                      help="(re)write the baseline files")
+    mode.add_argument("--diff", dest="mode", action="store_const",
+                      const="diff",
+                      help="report deltas without failing")
+    ap.set_defaults(mode="check")
+    ap.add_argument("--baseline-dir", default=None, metavar="DIR",
+                    help="baseline directory (default: the committed "
+                         "validation/baselines/)")
+    ap.add_argument("--scorecard-out", default=None, metavar="PATH",
+                    help="also write the scorecard text to this file")
+    ap.add_argument("--list", action="store_true",
+                    help="list the case catalogue and exit")
+    return ap
+
+
+def _list_cases() -> str:
+    from ..perf.report import format_table
+
+    rows = [
+        {
+            "case": c.name,
+            "suites": ",".join(c.suites),
+            "metrics": len(c.metrics),
+            "title": c.title,
+        }
+        for c in CASES.values()
+    ]
+    return format_table(rows, title="validation case catalogue")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list:
+        print(_list_cases())
+        return 0
+    if args.case:
+        try:
+            cases = [get_case(name) for name in args.case]
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        cases = suite_cases(args.suite)
+    runs = run_suite(cases, mode=args.mode,
+                     baseline_dir=args.baseline_dir)
+    scorecard = format_scorecard(runs)
+    print(scorecard)
+    if args.scorecard_out:
+        with open(args.scorecard_out, "w", encoding="utf-8") as fh:
+            fh.write(scorecard + "\n")
+    if args.mode == "diff":
+        return 0
+    return 0 if suite_passed(runs) else 1

@@ -1,0 +1,146 @@
+"""Suite runner: executes cases, checks baselines, renders scorecards.
+
+Three modes mirror golden-file harnesses of production solvers:
+
+``check``
+    Run the case(s), compare every metric against the committed baseline
+    plus its hard bounds; any breach fails the run (CLI exit 1).
+``record``
+    Run the case(s) and (re)write their baseline files.  Hard physical
+    bounds are still enforced, so a broken solver cannot be recorded as
+    golden.
+``diff``
+    Like ``check`` but report-only: prints the per-metric deltas without
+    failing, for inspecting the impact of an intentional numerics
+    change before re-recording.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..perf.report import format_table
+from ..telemetry.clock import now
+from .baselines import (
+    CaseBaseline,
+    MetricDiff,
+    compare,
+    environment_stamp,
+    load_baseline,
+    save_baseline,
+)
+from .cases import ValidationCase
+
+#: Execution modes of the runner/CLI.
+MODES = ("check", "record", "diff")
+
+
+@dataclass
+class CaseRun:
+    """Outcome of executing one validation case in one mode."""
+
+    case: ValidationCase
+    mode: str
+    metrics: dict
+    diffs: list[MetricDiff]
+    seconds: float
+    baseline_found: bool
+
+    @property
+    def passed(self) -> bool:
+        """Whether every metric satisfied its contract (diff mode: all)."""
+        return all(d.passed for d in self.diffs)
+
+    @property
+    def failures(self) -> list[MetricDiff]:
+        """The failing metric diffs."""
+        return [d for d in self.diffs if not d.passed]
+
+
+def run_case(
+    case: ValidationCase,
+    mode: str = "check",
+    baseline_dir: str | None = None,
+) -> CaseRun:
+    """Execute one case and evaluate its metric contracts."""
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
+    t0 = now()
+    metrics = case.runner()
+    seconds = now() - t0
+    if mode == "record":
+        baseline = CaseBaseline(
+            case=case.name,
+            metrics={k: float(v) for k, v in metrics.items()},
+            environment=environment_stamp(),
+        )
+        save_baseline(baseline, baseline_dir)
+    else:
+        baseline = load_baseline(case.name, baseline_dir)
+    diffs = compare(metrics, baseline, case.metrics)
+    return CaseRun(
+        case=case,
+        mode=mode,
+        metrics=metrics,
+        diffs=diffs,
+        seconds=seconds,
+        baseline_found=baseline is not None,
+    )
+
+
+def run_suite(
+    cases: list[ValidationCase],
+    mode: str = "check",
+    baseline_dir: str | None = None,
+) -> list[CaseRun]:
+    """Execute a list of cases in registry order."""
+    return [run_case(c, mode=mode, baseline_dir=baseline_dir) for c in cases]
+
+
+def scorecard_rows(runs: list[CaseRun]) -> list[dict]:
+    """Per-metric scorecard rows for :func:`repro.perf.report.format_table`."""
+    rows = []
+    for run in runs:
+        for d in run.diffs:
+            rows.append({
+                "case": run.case.name,
+                "metric": d.spec.name,
+                "measured": f"{d.measured:.6g}",
+                "baseline": (
+                    f"{d.baseline:.6g}" if d.baseline is not None else "-"
+                ),
+                "tol": (
+                    f"{d.spec.atol + d.spec.rtol * abs(d.baseline):.2g}"
+                    if d.baseline is not None and d.spec.compares_baseline
+                    else "-"
+                ),
+                "status": "ok" if d.passed else "FAIL",
+                "note": d.reason,
+            })
+    return rows
+
+
+def format_scorecard(runs: list[CaseRun]) -> str:
+    """The full validation scorecard: per-metric table + case summary."""
+    lines = [format_table(scorecard_rows(runs), title="validation scorecard")]
+    lines.append("")
+    for run in runs:
+        verdict = "pass" if run.passed else (
+            f"FAIL ({len(run.failures)} metric(s))"
+        )
+        if not run.baseline_found and run.mode != "record":
+            verdict += " [no baseline recorded]"
+        lines.append(
+            f"{run.case.name}: {verdict} in {run.seconds:.2f} s "
+            f"[{run.mode}]"
+        )
+    n_fail = sum(1 for r in runs if not r.passed)
+    lines.append(
+        f"suite: {len(runs) - n_fail}/{len(runs)} case(s) passed"
+    )
+    return "\n".join(lines)
+
+
+def suite_passed(runs: list[CaseRun]) -> bool:
+    """Whether the whole run satisfies its contracts (gates the CLI)."""
+    return all(r.passed for r in runs)

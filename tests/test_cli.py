@@ -7,6 +7,8 @@ import pytest
 
 from repro.cli import build_parser, main
 
+from .conftest import make_rng
+
 
 class TestParser:
     def test_requires_command(self):
@@ -70,7 +72,7 @@ class TestCommands:
         assert "wall damage" in capsys.readouterr().out
 
     def test_compress_roundtrip(self, tmp_path, capsys):
-        field = np.random.default_rng(0).normal(size=(16, 16, 16)).astype(
+        field = make_rng(0).normal(size=(16, 16, 16)).astype(
             np.float32
         )
         path = tmp_path / "field.npy"

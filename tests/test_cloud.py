@@ -14,6 +14,8 @@ from repro.sim.cloud import (
     sample_radii,
 )
 
+from .conftest import make_rng
+
 
 class TestBubble:
     def test_volume(self):
@@ -46,8 +48,8 @@ class TestRadii:
         assert r.min() >= 50e-6 and r.max() <= 200e-6
 
     def test_deterministic(self):
-        a = sample_radii(10, np.random.default_rng(1))
-        b = sample_radii(10, np.random.default_rng(1))
+        a = sample_radii(10, make_rng(1))
+        b = sample_radii(10, make_rng(1))
         np.testing.assert_array_equal(a, b)
 
     def test_lognormal_median_near_geometric_mean(self, rng):

@@ -37,6 +37,8 @@ C0 = float(sound_speed(RHO0, P0, LIQUID.G, LIQUID.P))
 EPS = 1.0  # acoustic amplitude [bar]
 
 
+pytestmark = pytest.mark.tier2
+
 def wave_profile(x):
     """Smooth periodic profile (C-infinity on the torus)."""
     return np.sin(2 * np.pi * x) + 0.5 * np.sin(4 * np.pi * x)

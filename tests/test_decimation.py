@@ -12,6 +12,8 @@ from repro.compression.decimation import (
 )
 from repro.compression.wavelet import detail_mask, fwt3d, iwt3d, max_levels
 
+from .conftest import make_rng
+
 
 class TestAmplification:
     def test_zero_levels(self):
@@ -84,7 +86,7 @@ class TestErrorGuarantee:
     def test_linf_bound_holds(self, seed, eps_exp, kind):
         """The decimation error never exceeds eps (the paper's guarantee,
         made rigorous by the exact amplification factor)."""
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         eps = 10.0**eps_exp
         n = 16
         if kind == "random":

@@ -11,6 +11,8 @@ from repro.node.dispatcher import (
     simulate_dynamic_schedule,
 )
 
+from .conftest import make_rng
+
 
 class TestSimulatedSchedule:
     def test_uniform_items_balance(self):
@@ -42,7 +44,7 @@ class TestSimulatedSchedule:
     )
     @settings(max_examples=60, deadline=None)
     def test_invariants(self, seed, n, workers):
-        durations = np.random.default_rng(seed).uniform(0.1, 2.0, size=n)
+        durations = make_rng(seed).uniform(0.1, 2.0, size=n)
         stats = simulate_dynamic_schedule(durations, workers)
         # Work conservation.
         assert stats.busy.sum() == pytest.approx(durations.sum())

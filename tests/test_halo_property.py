@@ -12,6 +12,8 @@ from repro.core.block import GHOSTS
 from repro.node.grid import BlockGrid
 from repro.physics.state import NQ
 
+from .conftest import make_rng
+
 
 @given(
     seed=st.integers(0, 2**31),
@@ -25,7 +27,7 @@ def test_ghosts_match_global_field(seed, ranks, periodic):
     n = 8  # block size
     gb = (2, 2, 2)  # global blocks
     cells = tuple(g * n for g in gb)
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     global_field = rng.normal(size=cells + (NQ,)).astype(np.float32)
     dims = balanced_dims(ranks)
     per = (periodic,) * 3
@@ -86,7 +88,7 @@ def test_ghosts_match_global_field(seed, ranks, periodic):
 @settings(max_examples=5, deadline=None)
 def test_exchange_idempotent(seed):
     """Repeating the exchange (no state change) returns identical slabs."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     world = SimWorld(2)
     field = rng.normal(size=(16, 8, 8, NQ)).astype(np.float32)
 

@@ -7,6 +7,10 @@ from hypothesis import strategies as st
 
 from repro.cluster.mpi_sim import SimWorld
 
+from .conftest import make_rng
+
+
+pytestmark = pytest.mark.tier2
 
 class TestRandomPointToPoint:
     @given(seed=st.integers(0, 2**31), size=st.integers(2, 5),
@@ -15,7 +19,7 @@ class TestRandomPointToPoint:
     def test_all_messages_delivered_exactly_once(self, seed, size, n_msgs):
         """Every rank sends random messages; the multiset of received
         payloads equals the multiset sent, regardless of ordering."""
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         # Predetermine the traffic matrix so every rank knows what to expect.
         sends = [
             [(int(rng.integers(0, size)), int(rng.integers(0, 1000)))
@@ -43,7 +47,7 @@ class TestRandomPointToPoint:
     @settings(max_examples=15, deadline=None)
     def test_tag_isolation(self, seed):
         """Messages with different tags never cross-match."""
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         order = rng.permutation(4).tolist()
         world = SimWorld(2)
 
@@ -65,7 +69,7 @@ class TestCollectiveStress:
     @settings(max_examples=15, deadline=None)
     def test_repeated_mixed_collectives(self, seed, size, rounds):
         """Random sequences of collectives stay generation-aligned."""
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         values = rng.integers(0, 100, size=(rounds, size)).tolist()
         world = SimWorld(size)
 

@@ -5,38 +5,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.physics.eos import LIQUID, VAPOR, sound_speed, total_energy
+from repro.physics.eos import LIQUID, VAPOR, sound_speed
 from repro.physics.riemann import einfeldt_wave_speeds, hlle_flux
-from repro.physics.state import ENERGY, GAMMA, NQ, PI, RHO, RHOU, RHOV, RHOW
+from repro.physics.state import ENERGY, RHO, RHOU
 
-
-def make_state(rho, u, v, w, p, mat=LIQUID, shape=()):
-    W = np.empty((NQ,) + shape)
-    W[RHO] = rho
-    W[RHOU] = u
-    W[RHOV] = v
-    W[RHOW] = w
-    W[ENERGY] = p
-    W[GAMMA] = mat.G
-    W[PI] = mat.P
-    return W
-
-
-def exact_flux(W, normal):
-    """Analytic flux of a single state (consistency reference)."""
-    rho, u, v, w, p = W[RHO], W[RHOU], W[RHOV], W[RHOW], W[ENERGY]
-    un = W[RHOU + normal]
-    E = total_energy(rho, u, v, w, p, W[GAMMA], W[PI])
-    F = np.empty_like(W)
-    F[RHO] = rho * un
-    F[RHOU] = rho * un * u
-    F[RHOV] = rho * un * v
-    F[RHOW] = rho * un * w
-    F[RHOU + normal] += p
-    F[ENERGY] = (E + p) * un
-    F[GAMMA] = W[GAMMA] * un
-    F[PI] = W[PI] * un
-    return F
+from .conftest import exact_flux, make_primitive_soa as make_state
 
 
 class TestWaveSpeeds:

@@ -17,7 +17,7 @@ from repro.analysis import (
 from repro.cluster import Simulation
 from repro.core.timestepper import make_stepper
 from repro.physics.eos import LIQUID
-from repro.physics.state import NQ, RHO, STORAGE_DTYPE
+from repro.physics.state import ENERGY, NQ, RHO, STORAGE_DTYPE
 from repro.sim.config import SimulationConfig
 from repro.sim.diagnostics import format_sanitizer_report
 from repro.sim.ic import uniform
@@ -238,6 +238,97 @@ def test_driver_warn_policy_records_and_completes():
         res = Simulation(cfg, uniform(p=-50.0)).run()
     assert len(res.records) == 2
     assert res.sanitizer_report.by_check().get("negative_pressure", 0) > 0
+
+
+# -- kernel-path mutation localization ------------------------------------
+#
+# Inject a defect into each instrumented kernel path (RHS, UP, SOS, FWT)
+# and assert that the sanitizer in "raise" mode localizes the failure to
+# the path, the block index, and the offending field name.
+
+
+class TestKernelPathLocalization:
+    @staticmethod
+    def _config(**overrides):
+        base = dict(cells=16, block_size=8, max_steps=2, sanitize="raise")
+        base.update(overrides)
+        return SimulationConfig(**base)
+
+    def _run_expecting_violation(self, monkeypatch, target, replacement,
+                                 **config_overrides):
+        monkeypatch.setattr(target, replacement)
+        with pytest.raises(NumericsViolationError) as err:
+            Simulation(self._config(**config_overrides), uniform()).run()
+        return err.value.violations[0]
+
+    def test_rhs_nan_localized_to_block_and_field(self, monkeypatch):
+        from repro.core.kernels import rhs_kernel as orig
+
+        def bad_rhs(pad, h, **kw):
+            out = orig(pad, h, **kw)
+            out[0, 0, 0, RHO] = np.nan
+            return out
+
+        v = self._run_expecting_violation(
+            monkeypatch, "repro.node.solver.rhs_kernel", bad_rhs
+        )
+        assert v.check == "non_finite"
+        assert "RHS" in v.where
+        assert v.block is not None
+        assert v.field == "rho"
+
+    def test_up_negative_pressure_localized(self, monkeypatch):
+        from repro.core.kernels import update_stage as orig
+
+        def bad_up(u_aos, residual_aos, rhs_aos, a, b, dt, **kw):
+            # A finite but catastrophic energy sink: passes the RHS
+            # finiteness check, drives p < 0 in the UP block write.
+            rhs_aos = rhs_aos.copy()
+            rhs_aos[0, 0, 0, ENERGY] = -1.0e12
+            return orig(u_aos, residual_aos, rhs_aos, a, b, dt, **kw)
+
+        v = self._run_expecting_violation(
+            monkeypatch, "repro.node.solver.update_stage", bad_up
+        )
+        assert v.check == "negative_pressure"
+        assert "stage" in v.where
+        assert v.block is not None
+        assert v.field == "p"
+
+    def test_sos_nan_localized(self, monkeypatch):
+        from repro.core.kernels import sos_kernel as orig
+
+        calls = {"n": 0}
+
+        def bad_sos(block_aos):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                return float("nan")
+            return orig(block_aos)
+
+        v = self._run_expecting_violation(
+            monkeypatch, "repro.node.solver.sos_kernel", bad_sos
+        )
+        assert v.check == "non_finite"
+        assert "SOS" in v.where
+        assert v.block is not None
+        assert v.field == "sos"
+
+    def test_fwt_nan_localized_to_quantity(self, monkeypatch, tmp_path):
+        from repro.sim.diagnostics import pressure_field as orig
+
+        def bad_pressure(fld):
+            out = np.asarray(orig(fld)).copy()
+            out[0, 0, 0] = np.nan
+            return out
+
+        v = self._run_expecting_violation(
+            monkeypatch, "repro.cluster.driver.pressure_field", bad_pressure,
+            dump_interval=1, dump_dir=str(tmp_path),
+        )
+        assert v.check == "non_finite"
+        assert "FWT" in v.where
+        assert v.field == "p"
 
 
 def test_off_policy_zero_overhead_paths():

@@ -22,6 +22,8 @@ from repro.physics.state import (
     zeros_aos,
 )
 
+from .conftest import make_rng
+
 
 class TestLayout:
     def test_quantity_count(self):
@@ -85,7 +87,7 @@ class TestConversions:
     )
     @settings(max_examples=25, deadline=None)
     def test_roundtrip_property(self, nz, ny, nx, seed):
-        aos = np.random.default_rng(seed).normal(size=(nz, ny, nx, NQ))
+        aos = make_rng(seed).normal(size=(nz, ny, nx, NQ))
         np.testing.assert_array_equal(
             soa_to_aos(aos_to_soa(aos), dtype=np.float64), aos
         )

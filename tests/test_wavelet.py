@@ -17,6 +17,8 @@ from repro.compression.wavelet import (
     max_levels,
 )
 
+from .conftest import make_rng
+
 
 class TestMaxLevels:
     @pytest.mark.parametrize("n,expected", [(8, 1), (16, 2), (32, 3), (64, 4),
@@ -98,7 +100,7 @@ class Test3D:
     @given(seed=st.integers(0, 2**31), levels=st.integers(0, 2))
     @settings(max_examples=25, deadline=None)
     def test_roundtrip_property(self, seed, levels):
-        x = np.random.default_rng(seed).normal(size=(16, 16, 16))
+        x = make_rng(seed).normal(size=(16, 16, 16))
         np.testing.assert_allclose(
             iwt3d(fwt3d(x, levels), levels), x, rtol=1e-11, atol=1e-11
         )

@@ -12,6 +12,8 @@ from repro.physics.weno import (
     weno5_fused,
 )
 
+from .conftest import make_rng
+
 
 def _faces_count(m):
     return m - 5
@@ -111,7 +113,7 @@ class TestFused:
     @given(seed=st.integers(0, 2**31), m=st.integers(6, 40))
     @settings(max_examples=40, deadline=None)
     def test_agreement_property(self, seed, m):
-        v = np.random.default_rng(seed).normal(size=m) * 10.0
+        v = make_rng(seed).normal(size=m) * 10.0
         m0, p0 = weno5(v)
         m1, p1 = weno5_fused(v)
         np.testing.assert_allclose(m1, m0, rtol=1e-10, atol=1e-10)
@@ -124,7 +126,7 @@ class TestBoundsProperty:
     def test_reconstruction_bounded_by_data_range(self, seed):
         """WENO5 face values stay within a modest inflation of the local
         stencil range (convex combination of three parabolas)."""
-        v = np.random.default_rng(seed).uniform(-5, 5, size=20)
+        v = make_rng(seed).uniform(-5, 5, size=20)
         minus, plus = weno5(v)
         # Candidate polynomials can overshoot the cell range by at most
         # the extrapolation factor of the parabola coefficients (~2.4x).
