@@ -1,4 +1,4 @@
-"""The ``cubism-lint`` rule catalogue (CL001..CL008).
+"""The ``cubism-lint`` rule catalogue (CL001..CL010).
 
 Each rule encodes one contract the paper's solver design depends on;
 the docstrings below are the normative description (also surfaced by
@@ -509,3 +509,65 @@ class RingDepthNotLiteral(Rule):
                         f"literal ring depth {arg.value}; use RING_DEPTH "
                         "from repro.core.ringbuffer",
                     )
+
+
+@register_rule
+class BoundedRecoveryLoops(Rule):
+    """CL010: resilience-critical code fails visibly and stays bounded.
+
+    In ``repro.cluster`` and ``repro.resilience``: (a) bare ``except:``
+    clauses are forbidden outright -- name what you recover from (CL005
+    tolerates logged broad handlers; recovery code gets no such
+    leniency); (b) every ``while True`` loop must be *bounded* -- its
+    body must either raise on exhaustion or consult a
+    deadline/attempt/timeout bound.  An unbounded retry loop turns a
+    transient fault into a silent hang, the one failure mode the
+    recovery supervisor cannot detect.
+    """
+
+    rule_id = "CL010"
+    name = "unbounded-recovery"
+    description = "bare except / unbounded while-True in resilience paths"
+    default_paths = ("cluster/", "resilience/")
+
+    #: Identifiers that signal a bound on the loop (deadline arithmetic,
+    #: attempt counters, timeout plumbing).
+    _BOUND_RE = re.compile(
+        r"(?i)^(deadline|remaining|attempt|attempts|timeout|retries|"
+        r"max_\w+|budget)$"
+    )
+
+    def _is_bounded(self, loop: ast.While) -> bool:
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Raise):
+                return True
+            name = None
+            if isinstance(node, ast.Name):
+                name = node.id
+            elif isinstance(node, ast.Attribute):
+                name = node.attr
+            if name is not None and self._BOUND_RE.match(name):
+                return True
+        return False
+
+    def check(self, source: SourceFile) -> Iterable[Violation]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.violation(
+                    source,
+                    node,
+                    "bare except in a resilience-critical path; name the "
+                    "exceptions you recover from",
+                )
+            if (
+                isinstance(node, ast.While)
+                and isinstance(node.test, ast.Constant)
+                and node.test.value
+                and not self._is_bounded(node)
+            ):
+                yield self.violation(
+                    source,
+                    node,
+                    "unbounded 'while True' retry/wait loop; raise on "
+                    "exhaustion or check a deadline/attempt bound",
+                )

@@ -48,9 +48,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     telemetry = args.telemetry
     if args.trace_out and telemetry != "trace":
         telemetry = "trace"  # --trace-out implies span recording
+    fault_plan = None
+    if args.fault_plan:
+        from .resilience import FaultPlan
+
+        fault_plan = FaultPlan.from_file(args.fault_plan)
+    resilient = args.resilience or fault_plan is not None
+    # Prefer the paper-like block size, but the block grid must also
+    # decompose across the requested ranks.
+    from .cluster.topology import balanced_dims
+
+    dims = balanced_dims(args.ranks)
+    block_size = next(
+        (bs for bs in (16, 8)
+         if args.cells % bs == 0
+         and all((args.cells // bs) % d == 0 for d in dims)),
+        8,
+    )
     config = SimulationConfig(
         cells=args.cells,
-        block_size=16 if args.cells % 16 == 0 else 8,
+        block_size=block_size,
         max_steps=args.steps,
         ranks=args.ranks,
         wall=(0, -1) if (args.wall or erosion) else None,
@@ -59,10 +76,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         dump_dir=args.dump_dir,
         sanitize=args.sanitize,
         telemetry=telemetry,
+        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_keep=args.checkpoint_keep,
+        fault_plan=fault_plan,
+        max_recoveries=args.max_recoveries,
+        comm_timeout=args.comm_timeout,
     )
     ic = cloud_collapse(bubbles, p_liquid=args.pressure,
                         smoothing=config.h)
-    result = Simulation(config, ic).run()
+    rres = None
+    if resilient:
+        from .resilience import ResilientSimulation
+
+        rres = ResilientSimulation(config, ic).run()
+        result = rres.result
+    else:
+        result = Simulation(config, ic).run()
     print(f"{'step':>5} {'time':>9} {'max p':>10} {'kinetic E':>11} "
           f"{'r_eq':>8}")
     for rec in result.records[:: max(1, len(result.records) // 20)]:
@@ -92,6 +122,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.sanitize != "off":
         print()
         print(format_sanitizer_report(result.sanitizer_report))
+    if rres is not None:
+        from .resilience import all_faults_recovered, format_resilience_scorecard
+
+        print()
+        print(format_resilience_scorecard(rres))
+        if args.resilience_out:
+            import json
+
+            with open(args.resilience_out, "w") as f:
+                json.dump(
+                    {
+                        "attempts": rres.attempts,
+                        "recovery_overhead": rres.recovery_overhead,
+                        "all_faults_recovered": all_faults_recovered(rres),
+                        "counters": rres.counters,
+                        "events": [vars(ev) for ev in rres.events],
+                    },
+                    f, indent=2,
+                )
+            print(f"\nresilience scorecard written to {args.resilience_out}")
+        if not all_faults_recovered(rres):
+            return 1
     return 0
 
 
@@ -190,6 +242,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace-out", metavar="PATH", default=None,
                      help="write a Perfetto-loadable Chrome trace-event "
                           "JSON of the run (implies --telemetry trace)")
+    run.add_argument("--checkpoint-interval", type=int, default=0,
+                     help="steps between lossless checkpoints (0 = never)")
+    run.add_argument("--checkpoint-dir", default=".")
+    run.add_argument("--checkpoint-keep", type=int, default=0,
+                     help="checkpoint generations kept by rotation "
+                          "(0 = keep everything)")
+    run.add_argument("--fault-plan", metavar="PATH", default=None,
+                     help="JSON chaos plan injected into the run (implies "
+                          "--resilience; see repro.resilience)")
+    run.add_argument("--resilience", action="store_true",
+                     help="run under the supervised recovery loop "
+                          "(checkpoint rollback on world failure)")
+    run.add_argument("--max-recoveries", type=int, default=3)
+    run.add_argument("--comm-timeout", type=float, default=None,
+                     help="receive/collective timeout in seconds")
+    run.add_argument("--resilience-out", metavar="PATH", default=None,
+                     help="write the resilience scorecard as JSON")
     run.set_defaults(func=_cmd_run)
 
     rep = sub.add_parser("report", help="print the performance models")

@@ -11,6 +11,9 @@ exclusive prefix sum ahead of collective compressed writes.
 """
 
 from .checkpoint import (
+    checkpoint_path,
+    list_checkpoints,
+    prune_checkpoints,
     read_checkpoint_field,
     read_checkpoint_meta,
     write_checkpoint,
@@ -24,9 +27,10 @@ from .mpi_sim import (
     Request,
     SimComm,
     SimWorld,
+    WorldAbortError,
     WorldError,
 )
-from .topology import CartTopology, balanced_dims
+from .topology import CartTopology, balanced_dims, feasible_rank_counts
 
 __all__ = [
     "ANY_SOURCE",
@@ -42,9 +46,14 @@ __all__ = [
     "SimWorld",
     "Simulation",
     "StepRecord",
+    "WorldAbortError",
     "WorldError",
     "balanced_dims",
+    "checkpoint_path",
     "extract_face_slab",
+    "feasible_rank_counts",
+    "list_checkpoints",
+    "prune_checkpoints",
     "rank_main",
     "read_checkpoint_field",
     "read_checkpoint_meta",

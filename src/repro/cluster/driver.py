@@ -157,12 +157,18 @@ class RunResult:
 
 
 def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
-              restart_from: str | None = None) -> RankResult:
+              restart_from: str | None = None,
+              injector=None) -> RankResult:
     """The SPMD program executed by every rank.
 
     ``restart_from`` resumes a run from a checkpoint written by
     :func:`repro.cluster.checkpoint.write_checkpoint` (any rank count);
     ``max_steps`` counts total steps including the restarted ones.
+
+    ``injector`` is an optional
+    :class:`~repro.resilience.inject.FaultInjector`: the chaos engine's
+    step hook (rank crashes, stragglers) plus the resilience monitor the
+    dump/checkpoint degradation paths count on.
     """
     wall_t0 = now()
     topo = CartTopology(balanced_dims(comm.size), config.periodic)
@@ -178,9 +184,13 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
     if restart_from is None:
         grid.fill(ic_fn)
     else:
+        from ..resilience.detect import screen_restored_state
         from .checkpoint import read_checkpoint_field
 
         global_field, t, step = read_checkpoint_field(restart_from)
+        # SDC screen before any cell enters the stencil: a corruption
+        # that slipped past the block CRCs must not restart silently.
+        screen_restored_state(global_field, where=restart_from)
         oz, oy, ox = origin_cells
         nz, ny, nx = grid.cells
         grid.from_array(global_field[oz:oz + nz, oy:oy + ny, ox:ox + nx])
@@ -197,7 +207,14 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
         solver=config.riemann_solver,
         tracer=tracer,
     )
-    halo = HaloExchange(comm, topo, grid, tracer=tracer)
+    from ..resilience.recover import RetryPolicy
+
+    halo = HaloExchange(
+        comm, topo, grid, tracer=tracer, injector=injector,
+        retry=RetryPolicy(max_attempts=config.comm_retry_attempts,
+                          base_delay=config.comm_retry_base,
+                          seed=2013 + comm.rank),
+    )
     interior, halo_blocks = halo.halo_split()
     stepper = make_stepper(config.stepper)
 
@@ -234,6 +251,10 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
     records: list[StepRecord] = []
     compression_stats: list[dict] = []
     while step < config.max_steps and t < config.t_end:
+        # -- chaos hook: injected rank crashes / stragglers --------------
+        if injector is not None:
+            injector.at_step(comm.rank, step + 1)
+
         # -- DT kernel: SOS reduction -> CFL time step -------------------
         if sanitizer is not None:
             sanitizer.set_context(f"step {step + 1} DT")
@@ -294,22 +315,59 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
 
         # -- compressed data dumps (p and Gamma only, as in the paper) ----
         if config.dump_interval and step % config.dump_interval == 0:
-            with timers.span("IO_WAVELET"):
-                stats = _dump(comm, config, grid, origin_cells, step, timers,
-                              tracer, sanitizer=sanitizer)
-                compression_stats.extend(stats)
+            # Pre-flight the injected storage fault collectively so every
+            # rank takes the same branch: a failed dump degrades to a
+            # counted skip, never a diverged SPMD control flow.
+            io_bad = 1 if (injector is not None and
+                           injector.io_fails(comm.rank, "dump", step)) else 0
+            if injector is not None:
+                io_bad = comm.allreduce(io_bad, op="max")
+            if io_bad:
+                if comm.rank == 0:
+                    injector.detected("io_fail")
+                    injector.recovered("io_fail")
+                    injector.count("dumps_skipped")
+            else:
+                with timers.span("IO_WAVELET"):
+                    stats = _dump(comm, config, grid, origin_cells, step,
+                                  timers, tracer, sanitizer=sanitizer)
+                    compression_stats.extend(stats)
 
-        # -- lossless checkpoints ----------------------------------------
+        # -- lossless checkpoints (atomic, rotated generations) ----------
         if config.checkpoint_interval and step % config.checkpoint_interval == 0:
-            from .checkpoint import write_checkpoint
+            from ..resilience.detect import CheckpointWriteError
+            from .checkpoint import (
+                checkpoint_path,
+                prune_checkpoints,
+                write_checkpoint,
+            )
 
             with timers.span("CHECKPOINT"):
-                ck_path = os.path.join(
-                    config.checkpoint_dir, f"checkpoint_step{step:06d}.rck"
-                )
-                write_checkpoint(
-                    comm, ck_path, grid.to_array(), origin_cells, t, step
-                )
+                ck_path = checkpoint_path(config.checkpoint_dir, step)
+                try:
+                    write_checkpoint(
+                        comm, ck_path, grid.to_array(), origin_cells, t,
+                        step, injector=injector,
+                    )
+                except CheckpointWriteError:
+                    # Degrade: previous generations are intact, the
+                    # campaign keeps computing (failure already counted
+                    # by the writer on rank 0).
+                    if comm.rank == 0 and injector is not None:
+                        injector.recovered("io_fail")
+                else:
+                    if comm.rank == 0 and config.checkpoint_keep:
+                        pruned = prune_checkpoints(
+                            config.checkpoint_dir, config.checkpoint_keep
+                        )
+                        if injector is not None:
+                            injector.count("ckpt_generations_pruned",
+                                           len(pruned))
+                            injector.set_counter(
+                                "ckpt_generations_kept",
+                                min(config.checkpoint_keep,
+                                    step // config.checkpoint_interval),
+                            )
 
         records.append(
             StepRecord(step=step, time=t, dt=dt, diagnostics=diag,
@@ -417,23 +475,34 @@ class Simulation:
     """
 
     def __init__(self, config: SimulationConfig, ic_fn,
-                 restart_from: str | None = None):
+                 restart_from: str | None = None, injector=None):
         self.config = config
         self.ic_fn = ic_fn
         self.restart_from = restart_from
+        self.injector = injector
 
     def run(self) -> RunResult:
-        world = SimWorld(self.config.ranks)
+        from .mpi_sim import DEFAULT_TIMEOUT
+
+        world = SimWorld(
+            self.config.ranks,
+            timeout=(self.config.comm_timeout
+                     if self.config.comm_timeout is not None
+                     else DEFAULT_TIMEOUT),
+            injector=self.injector,
+        )
         try:
             rank_results: list[RankResult] = world.run(
-                rank_main, self.config, self.ic_fn, self.restart_from
+                rank_main, self.config, self.ic_fn, self.restart_from,
+                self.injector
             )
         except WorldError as we:
             # Unwrap sanitizer aborts: when every failed rank raised a
             # NumericsViolationError, re-raise one merged violation error
             # so callers see the block-level findings directly instead of
-            # the SPMD wrapper.
-            failures = list(we.failures.values())
+            # the SPMD wrapper.  Teardown aborts of surviving ranks are
+            # not primary causes and do not block the unwrap.
+            failures = list(we.primary_failures.values())
             if failures and all(
                 isinstance(f, NumericsViolationError) for f in failures
             ):

@@ -11,6 +11,12 @@ Section 6)
 communicator: :meth:`start` packs the six face slabs and posts the
 non-blocking sends/receives, :meth:`finish` waits and returns a ghost
 provider the node layer consults for rank-boundary blocks.
+
+Every slab travels as a checksummed :class:`~repro.resilience.detect.HaloFrame`
+(CRC32 computed before transport), so an in-transit bit flip is caught on
+receive as a :class:`~repro.resilience.detect.HaloCorruptionError` rather
+than silently entering the stencil.  Transient send failures (injected or
+real) are retried in place with bounded jittered backoff.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import numpy as np
 from ..core.block import GHOSTS
 from ..node.grid import BlockGrid
 from ..physics.state import NQ, STORAGE_DTYPE
+from ..resilience.detect import HaloFrame, crc32_array
 from .mpi_sim import Request, SimComm
 from .topology import CartTopology
 
@@ -89,14 +96,25 @@ class HaloExchange:
     ``tracer`` is an optional :class:`repro.telemetry.Tracer`; when set,
     :meth:`start` counts the posted messages and ghost bytes
     (``halo_messages`` / ``halo_bytes``) for the run metrics snapshot.
+
+    ``injector`` is an optional
+    :class:`~repro.resilience.inject.FaultInjector` used as the
+    resilience monitor (CRC detections, comm retries); ``retry`` is the
+    :class:`~repro.resilience.recover.RetryPolicy` bounding the
+    transient-send backoff (a default policy when omitted).
     """
 
     def __init__(self, comm: SimComm, topo: CartTopology, grid: BlockGrid,
-                 tracer=None):
+                 tracer=None, injector=None, retry=None):
+        from ..resilience.recover import RetryPolicy
+
         self.comm = comm
         self.topo = topo
         self.grid = grid
         self.tracer = tracer
+        self.injector = injector
+        # Desynchronize backoff jitter across ranks via the seed.
+        self.retry = retry or RetryPolicy(seed=2013 + comm.rank)
         self._neighbors = topo.neighbors(comm.rank)
 
     def halo_split(self) -> tuple[list, list]:
@@ -119,6 +137,20 @@ class HaloExchange:
             (halo if is_halo else interior).append(block)
         return interior, halo
 
+    def _send_frame(self, frame: HaloFrame, nbr: int, tag: int) -> None:
+        """Post one checksummed face send, retrying transient failures."""
+        from ..resilience.inject import TransientCommError
+        from ..resilience.recover import retry_transient
+
+        def on_retry(attempt: int, exc: TransientCommError) -> None:
+            if self.injector is not None:
+                self.injector.count("comm_retries")
+                self.injector.detected("comm_transient")
+                self.injector.recovered("comm_transient")
+
+        retry_transient(lambda: self.comm.isend(frame, nbr, tag=tag),
+                        self.retry, on_retry=on_retry)
+
     def start(self) -> dict[tuple[int, int], Request]:
         """Pack and post the sends/receives; returns pending receives."""
         pending: dict[tuple[int, int], Request] = {}
@@ -128,9 +160,12 @@ class HaloExchange:
                 if nbr is None:
                     continue
                 slab = extract_face_slab(self.grid, axis, side)
+                # Checksum before transport so receive-side verification
+                # catches any in-transit corruption.
+                frame = HaloFrame(crc=crc32_array(slab), payload=slab)
                 # Tag with *our* sending face; the receiver matches on the
                 # opposite face of the same axis.
-                self.comm.isend(slab, nbr, tag=_face_tag(axis, side))
+                self._send_frame(frame, nbr, tag=_face_tag(axis, side))
                 pending[(axis, side)] = self.comm.irecv(
                     source=nbr, tag=_face_tag(axis, -side)
                 )
@@ -140,8 +175,28 @@ class HaloExchange:
         return pending
 
     def finish(self, pending: dict[tuple[int, int], Request]) -> RemoteGhostProvider:
-        """Wait for all receives and build the ghost provider."""
-        buffers = {key: req.wait() for key, req in pending.items()}
+        """Wait for all receives, verify CRCs, build the ghost provider.
+
+        Raises :class:`~repro.resilience.detect.HaloCorruptionError` when
+        a received frame fails its checksum (counted as a
+        ``msg_corrupt`` detection on the injector first).
+        """
+        from ..resilience.detect import HaloCorruptionError
+
+        buffers: dict[tuple[int, int], np.ndarray] = {}
+        for (axis, side), req in pending.items():
+            frame = req.wait()
+            if isinstance(frame, HaloFrame):
+                try:
+                    frame.verify(source=self._neighbors[(axis, side)],
+                                 axis=axis, side=side)
+                except HaloCorruptionError:
+                    if self.injector is not None:
+                        self.injector.detected("msg_corrupt")
+                    raise
+                buffers[(axis, side)] = frame.payload
+            else:  # pre-framing peer (plain slab): accept unchecked
+                buffers[(axis, side)] = frame
         return RemoteGhostProvider(self.grid, buffers)
 
     def exchange(self) -> RemoteGhostProvider:

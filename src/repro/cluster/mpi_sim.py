@@ -16,6 +16,15 @@ objects, capitalized methods communicate NumPy arrays.
 Deadlock safety: every blocking wait carries a timeout
 (:data:`DEFAULT_TIMEOUT` seconds) and raises :class:`CommTimeoutError`
 instead of hanging the test suite.
+
+Fault tolerance: when any rank thread dies, the world is *aborted* --
+``MPI_Abort`` semantics -- so peers blocked in receives or collectives
+wake immediately with :class:`WorldAbortError` instead of running out
+their timeouts.  :class:`WorldError.primary_failures` separates the
+original cause from the teardown aborts.  An optional fault injector
+(:class:`repro.resilience.inject.FaultInjector`) hooks the
+point-to-point send path for chaos testing (drops, delays, in-transit
+corruption, transient failures).
 """
 
 from __future__ import annotations
@@ -38,13 +47,26 @@ class CommTimeoutError(RuntimeError):
     """A blocking communication did not complete within the timeout."""
 
 
+class WorldAbortError(RuntimeError):
+    """The world was aborted because another rank failed (teardown)."""
+
+
 class WorldError(RuntimeError):
     """One or more rank threads raised; carries the per-rank exceptions."""
 
     def __init__(self, failures: dict[int, BaseException]):
         self.failures = failures
-        msgs = "; ".join(f"rank {r}: {e!r}" for r, e in sorted(failures.items()))
+        primary = self.primary_failures or failures
+        msgs = "; ".join(f"rank {r}: {e!r}" for r, e in sorted(primary.items()))
         super().__init__(f"SPMD program failed on {len(failures)} rank(s): {msgs}")
+
+    @property
+    def primary_failures(self) -> dict[int, BaseException]:
+        """Failures that caused the abort, excluding teardown aborts (dict)."""
+        return {
+            r: e for r, e in self.failures.items()
+            if not isinstance(e, WorldAbortError)
+        }
 
 
 @dataclass
@@ -55,12 +77,23 @@ class _Message:
 
 
 class _Mailbox:
-    """Per-rank selective-receive message store."""
+    """Per-rank selective-receive message store.
 
-    def __init__(self):
+    ``abort`` is the world's abort event: waiting receivers re-check it
+    after every wakeup and raise :class:`WorldAbortError` so a dead
+    rank's peers fail fast instead of timing out.
+    """
+
+    def __init__(self, abort: threading.Event | None = None):
         self._lock = threading.Lock()
         self._cv = threading.Condition(self._lock)
         self._messages: list[_Message] = []
+        self._abort = abort or threading.Event()
+
+    def wake_for_abort(self) -> None:
+        """Wake every waiting receiver (the abort event is already set)."""
+        with self._cv:
+            self._cv.notify_all()
 
     def put(self, msg: _Message) -> None:
         with self._cv:
@@ -77,18 +110,21 @@ class _Mailbox:
         return None
 
     def get(self, source: int, tag: int, timeout: float) -> _Message:
+        import time
+
         deadline = None
         with self._cv:
             while True:
                 msg = self._match(source, tag)
                 if msg is not None:
                     return msg
+                if self._abort.is_set():
+                    raise WorldAbortError(
+                        f"world aborted while waiting for Recv(source="
+                        f"{source}, tag={tag})"
+                    )
                 if deadline is None:
-                    import time
-
                     deadline = time.monotonic() + timeout
-                import time
-
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise CommTimeoutError(
@@ -110,13 +146,19 @@ class _Rendezvous:
     everybody; results are reference-counted away afterwards.
     """
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, abort: threading.Event | None = None):
         self.size = size
         self._lock = threading.Lock()
         self._cv = threading.Condition(self._lock)
         self._contrib: dict[int, dict[int, Any]] = {}
         self._results: dict[int, Any] = {}
         self._reads: dict[int, int] = {}
+        self._abort = abort or threading.Event()
+
+    def wake_for_abort(self) -> None:
+        """Wake every waiting contributor (the abort event is already set)."""
+        with self._cv:
+            self._cv.notify_all()
 
     def contribute(
         self,
@@ -139,6 +181,10 @@ class _Rendezvous:
                 self._cv.notify_all()
             deadline = time.monotonic() + timeout
             while gen not in self._results:
+                if self._abort.is_set():
+                    raise WorldAbortError(
+                        f"world aborted while waiting in collective gen {gen}"
+                    )
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     missing = self.size - len(self._contrib.get(gen, {}))
@@ -164,14 +210,15 @@ class Request:
         self._done = False
         self._value: Any = None
 
-    def wait(self, timeout: float = DEFAULT_TIMEOUT) -> Any:
+    def wait(self, timeout: float | None = None) -> Any:
+        """Complete the operation; ``None`` defers to the world timeout."""
         if not self._done:
             self._value = self._wait_fn(timeout)
             self._done = True
         return self._value
 
     @staticmethod
-    def waitall(requests: list["Request"], timeout: float = DEFAULT_TIMEOUT) -> list[Any]:
+    def waitall(requests: list["Request"], timeout: float | None = None) -> list[Any]:
         return [r.wait(timeout) for r in requests]
 
 
@@ -198,21 +245,36 @@ class SimComm:
     # -- point to point ---------------------------------------------------
 
     def _payload_bytes(self, obj: Any) -> int:
-        if isinstance(obj, np.ndarray):
-            return obj.nbytes
-        return 0
+        # ndarray payloads and checksummed frames both expose ``nbytes``.
+        return int(getattr(obj, "nbytes", 0))
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Blocking-API send (delivery is buffered, so it never blocks)."""
+        """Blocking-API send (delivery is buffered, so it never blocks).
+
+        With a fault injector attached to the world, the payload passes
+        through its transport hook first: it may be dropped, delayed,
+        corrupted in transit, or fail with a (retryable)
+        ``TransientCommError``.
+        """
         if not 0 <= dest < self.size:
             raise ValueError(f"invalid destination rank {dest}")
         payload = obj.copy() if isinstance(obj, np.ndarray) else obj
+        injector = self._world.injector
+        if injector is not None:
+            from ..resilience.inject import DROPPED
+
+            payload = injector.on_send(self.rank, dest, payload)
+            if payload is DROPPED:
+                return
         self.bytes_sent += self._payload_bytes(payload)
         self.messages_sent += 1
         self._world._mailboxes[dest].put(_Message(self.rank, tag, payload))
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
-             timeout: float = DEFAULT_TIMEOUT) -> Any:
+             timeout: float | None = None) -> Any:
+        """Blocking receive; ``timeout=None`` uses the world timeout."""
+        if timeout is None:
+            timeout = self._world.timeout
         msg = self._world._mailboxes[self.rank].get(source, tag, timeout)
         return msg.payload
 
@@ -307,16 +369,30 @@ class SimWorld:
     rank failures as :class:`WorldError`.
     """
 
-    def __init__(self, size: int, timeout: float = DEFAULT_TIMEOUT):
+    def __init__(self, size: int, timeout: float = DEFAULT_TIMEOUT,
+                 injector: Any | None = None):
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = size
         self.timeout = timeout
-        self._mailboxes = [_Mailbox() for _ in range(size)]
-        self._rendezvous = _Rendezvous(size)
+        self.injector = injector
+        self._abort = threading.Event()
+        self._mailboxes = [_Mailbox(self._abort) for _ in range(size)]
+        self._rendezvous = _Rendezvous(size, self._abort)
 
     def comm(self, rank: int) -> SimComm:
         return SimComm(self, rank)
+
+    def _signal_abort(self) -> None:
+        """MPI_Abort analogue: wake every blocked rank with WorldAbortError.
+
+        Called when any rank fails; without it, surviving ranks would sit
+        in recv/collective waits until their timeout expires.
+        """
+        self._abort.set()
+        for box in self._mailboxes:
+            box.wake_for_abort()
+        self._rendezvous.wake_for_abort()
 
     def run(self, main: Callable[..., Any], *args: Any) -> list[Any]:
         results: list[Any] = [None] * self.size
@@ -327,6 +403,7 @@ class SimWorld:
                 results[rank] = main(self.comm(rank), *args)
             except BaseException as exc:  # noqa: BLE001 - reported below  # lint: disable=CL005
                 failures[rank] = exc
+                self._signal_abort()
 
         if self.size == 1:
             # Fast path: no threads for single-rank runs.

@@ -1,0 +1,134 @@
+"""Declarative fault plans: seeded, step/rank-addressable chaos specs.
+
+Production campaigns at paper scale (1.6 M cores, 10'000-100'000 steps
+stitched across restarts, Sections 1 and 7) routinely see rank loss,
+stragglers and silent data corruption.  A :class:`FaultPlan` describes a
+reproducible set of such faults so the recovery machinery can be
+exercised deterministically: every spec is addressable by rank and step,
+probabilistic specs draw from a stream seeded by ``(plan.seed, spec
+index)``, and a ``max_hits`` bound makes transient faults stop firing --
+the property that lets a rolled-back run get past the step that killed
+its predecessor.
+
+The plan is pure data (JSON round-trippable for ``repro.cli
+--fault-plan``); arming it at runtime is the job of
+:class:`repro.resilience.inject.FaultInjector`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+#: The fault taxonomy (see ``docs/resilience.md``).
+KINDS = (
+    "rank_crash",      # the rank raises at the top of the addressed step
+    "comm_transient",   # a point-to-point send raises TransientCommError
+    "msg_drop",         # a halo message is silently never delivered
+    "msg_delay",        # a halo message is delayed by ``delay`` seconds
+    "msg_corrupt",      # one bit of a halo payload flips in transit
+    "straggler",        # the rank sleeps ``delay`` seconds at step start
+    "ckpt_bitflip",     # one bit of a checkpoint rank-block flips (SDC)
+    "io_fail",          # a collective write fails (``target`` selects
+                        # "dump" or "checkpoint")
+)
+
+
+@dataclass
+class FaultSpec:
+    """One addressable fault.
+
+    ``rank``/``step`` of ``None`` match any rank / any step (steps are
+    the 1-based step numbers the driver is computing when the fault
+    fires).  ``probability`` gates each match through the spec's seeded
+    stream; ``max_hits`` bounds total firings across the whole campaign
+    (0 = unlimited).  ``delay`` is the sleep in seconds for
+    ``straggler``/``msg_delay``; ``target`` selects the writer for
+    ``io_fail`` ("dump" or "checkpoint").
+    """
+
+    kind: str
+    rank: int | None = None
+    step: int | None = None
+    probability: float = 1.0
+    max_hits: int = 1
+    delay: float = 0.0
+    target: str = "dump"
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"choose from {KINDS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.max_hits < 0:
+            raise ValueError("max_hits must be >= 0 (0 = unlimited)")
+        if self.delay < 0.0:
+            raise ValueError("delay must be >= 0")
+        if self.kind == "io_fail" and self.target not in ("dump", "checkpoint"):
+            raise ValueError("io_fail target must be 'dump' or 'checkpoint'")
+
+    def matches(self, rank: int, step: int | None) -> bool:
+        """Whether this spec addresses ``(rank, step)`` (bool).
+
+        ``step=None`` at the call site (a site that does not know the
+        current step) matches only specs without a step address.
+        """
+        if self.rank is not None and self.rank != rank:
+            return False
+        if self.step is not None and self.step != step:
+            return False
+        return True
+
+
+@dataclass
+class FaultPlan:
+    """A seeded collection of :class:`FaultSpec` entries.
+
+    An empty plan is valid (the injector then acts as a pure
+    resilience-statistics monitor).
+    """
+
+    seed: int = 2013
+    faults: list[FaultSpec] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.faults = [
+            f if isinstance(f, FaultSpec) else FaultSpec(**f)
+            for f in self.faults
+        ]
+
+    def kinds(self) -> set[str]:
+        """The set of fault kinds this plan can inject (set[str])."""
+        return {f.kind for f in self.faults}
+
+    # -- (de)serialization ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Returns a ``json.dumps``-ready dict of the whole plan."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Builds a plan from :meth:`to_dict` output (FaultPlan)."""
+        return cls(seed=int(data.get("seed", 2013)),
+                   faults=list(data.get("faults", [])))
+
+    def to_json(self) -> str:
+        """Returns the plan as an indented JSON document (str)."""
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parses a plan from JSON text (FaultPlan)."""
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        """Loads a plan from a JSON file (FaultPlan)."""
+        with open(path, "r", encoding="utf-8") as f:
+            return cls.from_json(f.read())
+
+    def to_file(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_json() + "\n")

@@ -70,6 +70,23 @@ class SimulationConfig:
     collect_final_field: bool = True  #: return the assembled final field
     checkpoint_interval: int = 0  #: steps between checkpoints (0 = never)
     checkpoint_dir: str = "."
+    #: checkpoint generations retained by rotation (0 = keep everything)
+    checkpoint_keep: int = 0
+
+    # -- resilience ---------------------------------------------------------
+    #: point-to-point receive / collective wait timeout in seconds
+    #: (None = the communicator default; lower it for chaos tests so a
+    #: dropped message is diagnosed quickly)
+    comm_timeout: float | None = None
+    comm_retry_attempts: int = 3  #: bounded retries of transient sends
+    comm_retry_base: float = 0.02  #: base backoff delay in seconds
+    #: declarative chaos spec: a :class:`repro.resilience.FaultPlan`,
+    #: a dict/JSON-compatible mapping, or None (no injection)
+    fault_plan: object | None = None
+    #: recovery attempts the supervised driver may spend before giving up
+    max_recoveries: int = 3
+    #: after a rank loss, relaunch on a smaller feasible rank count
+    recovery_shrink: bool = False
 
     def __post_init__(self):
         if isinstance(self.cells, int):
@@ -104,6 +121,23 @@ class SimulationConfig:
             )
         if self.telemetry_max_events < 0:
             raise ValueError("telemetry_max_events must be >= 0")
+        if self.checkpoint_keep < 0:
+            raise ValueError("checkpoint_keep must be >= 0")
+        if self.comm_timeout is not None and self.comm_timeout <= 0:
+            raise ValueError("comm_timeout must be positive")
+        if self.comm_retry_attempts < 1:
+            raise ValueError("comm_retry_attempts must be >= 1")
+        if self.max_recoveries < 0:
+            raise ValueError("max_recoveries must be >= 0")
+        if self.fault_plan is not None:
+            from ..resilience.plan import FaultPlan
+
+            if isinstance(self.fault_plan, dict):
+                self.fault_plan = FaultPlan.from_dict(self.fault_plan)
+            elif not isinstance(self.fault_plan, FaultPlan):
+                raise ValueError(
+                    "fault_plan must be a FaultPlan, a mapping, or None"
+                )
 
     @property
     def h(self) -> float:

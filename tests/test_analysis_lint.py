@@ -29,9 +29,9 @@ def rules_of(violations):
 # -- registry & framework ------------------------------------------------
 
 
-def test_registry_has_the_nine_rules():
+def test_registry_has_the_ten_rules():
     ids = [cls.rule_id for cls in registered_rules()]
-    assert ids == [f"CL00{i}" for i in range(1, 10)]
+    assert ids == [f"CL00{i}" for i in range(1, 10)] + ["CL010"]
     for cls in registered_rules():
         assert cls.name and cls.description
 
@@ -363,6 +363,70 @@ def test_cl009_pragma_disables_site():
         path="src/repro/cluster/fixture.py",
     )
     assert "CL009" not in rules_of(out)
+
+
+# -- CL010: bounded recovery loops ---------------------------------------
+
+
+def test_cl010_flags_bare_except_in_resilience_path():
+    out = lint(
+        """
+        try:
+            risky()
+        except:
+            print("eaten")
+        """,
+        path="src/repro/resilience/fixture.py",
+    )
+    assert "CL010" in rules_of(out)
+
+
+def test_cl010_flags_unbounded_while_true_retry():
+    out = lint(
+        """
+        import time
+        def keep_trying(fn):
+            while True:
+                try:
+                    return fn()
+                except ValueError:
+                    time.sleep(0.1)
+        """,
+        path="src/repro/cluster/fixture.py",
+    )
+    assert "CL010" in rules_of(out)
+
+
+def test_cl010_accepts_bounded_loops_and_named_excepts():
+    out = lint(
+        """
+        def bounded(fn, max_attempts):
+            for attempt in range(max_attempts):
+                try:
+                    return fn()
+                except ValueError:
+                    continue
+            raise RuntimeError("exhausted")
+
+        def waits(deadline):
+            while True:
+                if remaining_time(deadline) <= 0:
+                    raise TimeoutError
+        """,
+        path="src/repro/cluster/fixture.py",
+    )
+    assert "CL010" not in rules_of(out)
+
+
+def test_cl010_out_of_scope_elsewhere():
+    out = lint(
+        """
+        while True:
+            spin()
+        """,
+        path="src/repro/perf/fixture.py",
+    )
+    assert "CL010" not in rules_of(out)
 
 
 # -- pragmas -------------------------------------------------------------

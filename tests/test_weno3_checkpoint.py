@@ -140,7 +140,7 @@ class TestRestart:
                              checkpoint_dir=str(tmp_path)),
             ic,
         ).run()
-        ck = os.path.join(str(tmp_path), "checkpoint_step000003.rck")
+        ck = os.path.join(str(tmp_path), "ckpt_000003.rck")
         resumed = Simulation(
             SimulationConfig(**base, max_steps=6), ic, restart_from=ck
         ).run()
@@ -157,7 +157,7 @@ class TestRestart:
                              checkpoint_dir=str(tmp_path)),
             ic,
         ).run()
-        ck = os.path.join(str(tmp_path), "checkpoint_step000002.rck")
+        ck = os.path.join(str(tmp_path), "ckpt_000002.rck")
         resumed = Simulation(
             SimulationConfig(**base, max_steps=4, ranks=2), ic,
             restart_from=ck,
