@@ -13,22 +13,37 @@ machine instead of by convention:
   must never produce NaN/Inf, negative density or negative pressure
   mid-collapse.
 
-Two halves:
+Three parts:
 
 * :mod:`repro.analysis.lint` + :mod:`repro.analysis.rules` --
   ``cubism-lint``, an AST-based checker with a pluggable rule registry
-  (rules CL001..CL008) and ``# lint: disable=RULE`` pragmas.  Run it as
+  (rules CL001..CL011) and ``# lint: disable=RULE`` pragmas.  Run it as
   ``python -m repro.analysis src/repro`` (or the ``cubism-lint`` script).
 * :mod:`repro.analysis.sanitizer` -- :class:`NumericsSanitizer`, a
   runtime checker with an off / warn / raise policy that hooks into the
   core kernels, the time stepper and the cluster driver, accumulating a
   per-run :class:`ViolationReport`.
+* :mod:`repro.analysis.concurrency` -- the cluster layer's concurrency
+  analysis: **comm-check**, a static whole-program MPI protocol verifier
+  (rules CC001..CC004, ``python -m repro.analysis --concurrency``), and
+  a dynamic vector-clock race detector + deadlock watchdog for the
+  thread-based runtime (CC101/CC102, ``--concurrency-check`` on runs).
 
 See ``docs/analysis.md`` for the full rule catalogue and usage.
 """
 
 from __future__ import annotations
 
+from .concurrency import (
+    ConcurrencyReport,
+    ConcurrencyViolationError,
+    ConcurrencyWarning,
+    RaceTracker,
+    check_paths,
+    check_sources,
+    make_tracker,
+    registered_program_rules,
+)
 from .lint import (
     LintConfig,
     Rule,
@@ -53,6 +68,14 @@ from .sanitizer import (
 from . import rules as _rules  # noqa: F401  (registry population)
 
 __all__ = [
+    "ConcurrencyReport",
+    "ConcurrencyViolationError",
+    "ConcurrencyWarning",
+    "RaceTracker",
+    "check_paths",
+    "check_sources",
+    "make_tracker",
+    "registered_program_rules",
     "LintConfig",
     "Rule",
     "SourceFile",

@@ -1,19 +1,24 @@
-"""Command-line front end of ``cubism-lint``.
+"""Command-line front end of ``cubism-lint`` and comm-check.
 
 Usage::
 
-    python -m repro.analysis src/repro          # lint the solver tree
-    python -m repro.analysis --list-rules       # print the rule catalogue
-    cubism-lint src/repro --select CL001,CL002  # installed entry point
+    python -m repro.analysis src/repro            # lint the solver tree
+    python -m repro.analysis --concurrency src/repro  # static comm-check
+    python -m repro.analysis --list-rules         # print the catalogues
+    cubism-lint src/repro --select CL001,CL002    # installed entry point
 
-Exit codes: 0 clean, 1 violations found, 2 usage error.
+Exit codes: 0 clean, 1 violations found, 2 usage/config error (unknown
+rule id, nonexistent path, unreadable file).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
+from .concurrency import check_paths, registered_program_rules
 from .lint import LintConfig, format_violations, lint_paths, registered_rules
 
 # Importing the catalogue populates the registry.
@@ -27,15 +32,21 @@ def _rule_set(spec: str | None) -> frozenset[str] | None:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argument parser of the lint CLI."""
+    """Construct the argument parser of the analysis CLI."""
     ap = argparse.ArgumentParser(
         prog="cubism-lint",
         description="Solver-aware lint enforcing the repo's precision, "
-        "stencil and conservation contracts.",
+        "stencil and conservation contracts, plus the static MPI "
+        "protocol verifier (--concurrency).",
     )
     ap.add_argument(
         "paths", nargs="*", default=["src/repro"],
-        help="files or directories to lint (default: src/repro)",
+        help="files or directories to analyze (default: src/repro)",
+    )
+    ap.add_argument(
+        "--concurrency", action="store_true",
+        help="run comm-check (whole-program MPI protocol verification, "
+        "CC-series rules) instead of the per-file lint rules",
     )
     ap.add_argument(
         "--select", metavar="RULES",
@@ -47,7 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ap.add_argument(
         "--list-rules", action="store_true",
-        help="print the rule catalogue and exit",
+        help="print the rule catalogues and exit",
+    )
+    ap.add_argument(
+        "--report-out", metavar="PATH", default=None,
+        help="write the findings as a JSON report (the CI artifact)",
     )
     ap.add_argument(
         "--quiet", action="store_true",
@@ -57,13 +72,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def list_rules() -> str:
-    """Returns the formatted rule catalogue (id, name, scope, summary)."""
+    """Returns the formatted rule catalogues (lint + comm-check)."""
     lines = []
     for cls in registered_rules():
         scope = ", ".join(cls.default_paths) if cls.default_paths else "all files"
         lines.append(f"{cls.rule_id}  {cls.name}  [{scope}]")
         lines.append(f"       {cls.description}")
+    for cls in registered_program_rules():
+        lines.append(f"{cls.rule_id}  {cls.name}  [whole program, --concurrency]")
+        lines.append(f"       {cls.description}")
     return "\n".join(lines)
+
+
+def _known_rule_ids() -> set[str]:
+    """Every selectable rule id (lint CLxxx + program CCxxx) as a set."""
+    return (
+        {cls.rule_id for cls in registered_rules()}
+        | {cls.rule_id for cls in registered_program_rules()}
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -75,21 +101,53 @@ def main(argv: list[str] | None = None) -> int:
 
     select = _rule_set(args.select)
     ignore = _rule_set(args.ignore) or frozenset()
-    known = {cls.rule_id for cls in registered_rules()}
-    unknown = ((select or frozenset()) | ignore) - known
+    unknown = ((select or frozenset()) | ignore) - _known_rule_ids()
     if unknown:
         print(
             f"cubism-lint: unknown rule id(s): {', '.join(sorted(unknown))}",
             file=sys.stderr,
         )
         return 2
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(
+            f"cubism-lint: no such path(s): {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
 
-    config = LintConfig(select=select, ignore=ignore)
     try:
-        violations = lint_paths(args.paths, config)
+        if args.concurrency:
+            report = check_paths(args.paths)
+            violations = [
+                v for v in report.violations
+                if (select is None or v.rule in select)
+                and v.rule not in ignore
+            ]
+            report.violations = violations
+            payload = report.to_dict()
+            clean_msg = f"comm-check: {report.summary()}"
+        else:
+            config = LintConfig(select=select, ignore=ignore)
+            violations = lint_paths(args.paths, config)
+            payload = {
+                "findings": [
+                    {"path": v.path, "line": v.line, "col": v.col,
+                     "rule": v.rule, "message": v.message}
+                    for v in violations
+                ],
+            }
+            clean_msg = "cubism-lint: clean"
     except OSError as exc:
         print(f"cubism-lint: {exc}", file=sys.stderr)
         return 2
+    if args.report_out:
+        try:
+            with open(args.report_out, "w", encoding="utf-8") as f:
+                json.dump(payload, f, indent=2)
+        except OSError as exc:
+            print(f"cubism-lint: {exc}", file=sys.stderr)
+            return 2
     if violations:
         print(format_violations(violations))
         if not args.quiet:
@@ -100,7 +158,7 @@ def main(argv: list[str] | None = None) -> int:
             )
         return 1
     if not args.quiet:
-        print("cubism-lint: clean", file=sys.stderr)
+        print(clean_msg, file=sys.stderr)
     return 0
 
 

@@ -8,7 +8,9 @@ owns everything rules should not have to re-implement:
 * discovery of python files under the linted paths;
 * ``# lint: disable=RULE[,RULE...]`` pragmas -- a pragma comment on a
   line of its own disables the rules for the whole file, a trailing
-  pragma disables them for that line only;
+  pragma disables them for the enclosing statement (every line of a
+  multi-line simple statement; only the header lines of a compound
+  statement, so a pragma on an ``if`` never silences its body);
 * per-rule path scoping through :class:`LintConfig` (e.g. the mixed
   precision rule applies to ``core/``/``node/``/``cluster/``/
   ``physics/`` but exempts ``compression/`` and ``sim/`` diagnostics);
@@ -99,11 +101,42 @@ class SourceFile:
             lineno = tok.start[0]
             before = self.lines[lineno - 1][: tok.start[1]]
             if before.strip():
-                # Trailing pragma: disables the rules on this line only.
-                self.line_disables.setdefault(lineno, set()).update(rules)
+                # Trailing pragma: disables the rules across the
+                # enclosing statement's span, so a pragma anywhere on a
+                # multi-line statement suppresses violations anchored on
+                # any of its lines.
+                start, end = self._statement_span(lineno)
+                for ln in range(start, end + 1):
+                    self.line_disables.setdefault(ln, set()).update(rules)
             else:
                 # Stand-alone pragma comment: disables file-wide.
                 self.file_disables.update(rules)
+
+    def _statement_span(self, lineno: int) -> tuple[int, int]:
+        """Line span a trailing pragma on ``lineno`` covers.
+
+        The innermost statement containing the line; compound statements
+        (``if``/``for``/``def`` ...) contribute only their header lines
+        (up to the first body statement), so a pragma on a block header
+        never silences the block body.
+        """
+        best: tuple[int, int] | None = None
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            end = getattr(node, "end_lineno", None) or node.lineno
+            body = getattr(node, "body", None)
+            if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+                end = min(end, body[0].lineno - 1)
+            if not node.lineno <= lineno <= end:
+                continue
+            if (
+                best is None
+                or node.lineno > best[0]
+                or (node.lineno == best[0] and end < best[1])
+            ):
+                best = (node.lineno, end)
+        return best or (lineno, lineno)
 
     def disabled(self, rule_id: str, line: int) -> bool:
         """Returns whether ``rule_id`` is pragma-disabled at ``line``."""

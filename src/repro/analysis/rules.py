@@ -1,4 +1,4 @@
-"""The ``cubism-lint`` rule catalogue (CL001..CL010).
+"""The ``cubism-lint`` rule catalogue (CL001..CL011).
 
 Each rule encodes one contract the paper's solver design depends on;
 the docstrings below are the normative description (also surfaced by
@@ -571,3 +571,170 @@ class BoundedRecoveryLoops(Rule):
                     "unbounded 'while True' retry/wait loop; raise on "
                     "exhaustion or check a deadline/attempt bound",
                 )
+
+
+@register_rule
+class UnsynchronizedSharedMutation(Rule):
+    """CL011: shared mutable state in ``cluster/`` mutates under a lock.
+
+    The cluster runtime executes every rank on a thread of one process,
+    so module-level mutable objects and variables of an enclosing
+    function mutated from a nested function (thread bodies, callbacks)
+    are *shared across rank threads*.  Mutating them -- item assignment,
+    ``del``, or a mutating method call (``append``/``update``/...) --
+    outside a ``with <lock>`` block is the static shadow of the data
+    races the runtime detector (CC101) finds dynamically.  State that is
+    safe by construction (e.g. per-rank slots of a results list) carries
+    a trailing ``# lint: disable=CL011`` stating why.
+    """
+
+    rule_id = "CL011"
+    name = "unsynchronized-shared-mutation"
+    description = (
+        "module-level or enclosing-scope mutable state mutated from "
+        "cluster/ code without holding a lock"
+    )
+    default_paths = ("cluster/",)
+
+    #: Method names that mutate their receiver in place.
+    _MUTATORS = frozenset({
+        "append", "add", "update", "pop", "popitem", "extend", "remove",
+        "clear", "setdefault", "discard", "insert",
+    })
+    #: Lock-ish tokens in a ``with`` context expression.
+    _LOCK_RE = re.compile(r"(?i)lock|_cv\b|condition|mutex|semaphore")
+
+    @staticmethod
+    def _module_mutables(tree: ast.Module) -> set[str]:
+        """Module-level names bound to mutable containers (set of str)."""
+        out: set[str] = set()
+        for stmt in tree.body:
+            targets: list[ast.expr] = []
+            value = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if not targets or value is None:
+                continue
+            mutable = isinstance(value, (ast.Dict, ast.List, ast.Set)) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in ("dict", "list", "set", "defaultdict",
+                                      "deque", "Counter")
+            )
+            if not mutable:
+                continue
+            for t in targets:
+                if isinstance(t, ast.Name):
+                    out.add(t.id)
+        return out
+
+    def _mutations(self, tree: ast.Module) -> Iterator[tuple[ast.AST, ast.expr, str]]:
+        """Yield ``(anchor, mutated_base_expr, verb)`` for every mutation."""
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for t in targets:
+                    if isinstance(t, ast.Subscript):
+                        yield node, t.value, "item assignment"
+            elif isinstance(node, ast.Delete):
+                for t in node.targets:
+                    if isinstance(t, ast.Subscript):
+                        yield node, t.value, "del"
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._MUTATORS
+            ):
+                yield node, node.func.value, f".{node.func.attr}()"
+
+    @staticmethod
+    def _root_name(expr: ast.expr) -> str | None:
+        """Leftmost name of an attribute/subscript chain, or None."""
+        while isinstance(expr, (ast.Attribute, ast.Subscript)):
+            expr = expr.value
+        return expr.id if isinstance(expr, ast.Name) else None
+
+    @staticmethod
+    def _bound_names(fn: ast.AST) -> set[str]:
+        """Names bound directly in a function body (params + assignments)."""
+        out = {a.arg for a in fn.args.args + fn.args.kwonlyargs}
+        if fn.args.vararg:
+            out.add(fn.args.vararg.arg)
+        if fn.args.kwarg:
+            out.add(fn.args.kwarg.arg)
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node is not fn:
+                out.add(node.name)
+                continue
+            if isinstance(node, ast.Assign):
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        out.add(t.id)
+            elif isinstance(node, (ast.AnnAssign, ast.For)):
+                t = node.target
+                if isinstance(t, ast.Name):
+                    out.add(t.id)
+            elif isinstance(node, ast.withitem):
+                if isinstance(node.optional_vars, ast.Name):
+                    out.add(node.optional_vars.id)
+        return out
+
+    def _enclosing_functions(self, node: ast.AST, parents) -> list[ast.AST]:
+        """Function defs containing ``node``, innermost first (list)."""
+        out = []
+        cur = parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out.append(cur)
+            cur = parents.get(cur)
+        return out
+
+    def _under_lock(self, node: ast.AST, parents) -> bool:
+        cur = parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.With, ast.AsyncWith)):
+                for item in cur.items:
+                    if self._LOCK_RE.search(ast.unparse(item.context_expr)):
+                        return True
+            cur = parents.get(cur)
+        return False
+
+    def check(self, source: SourceFile) -> Iterable[Violation]:
+        parents = source.parents()
+        module_mutables = self._module_mutables(source.tree)
+        bound_cache: dict[ast.AST, set[str]] = {}
+        for anchor, base, verb in self._mutations(source.tree):
+            name = self._root_name(base)
+            if name is None or name == "self":
+                continue
+            fns = self._enclosing_functions(anchor, parents)
+            if not fns:
+                continue  # import-time construction, single-threaded
+            inner_bound = bound_cache.setdefault(
+                fns[0], self._bound_names(fns[0])
+            )
+            shared = None
+            if name in inner_bound:
+                pass  # function-local state: not shared
+            elif any(
+                name in bound_cache.setdefault(fn, self._bound_names(fn))
+                for fn in fns[1:]
+            ):
+                shared = "enclosing-scope (cross-thread)"
+            elif name in module_mutables:
+                shared = "module-level"
+            if shared is None:
+                continue
+            if self._under_lock(anchor, parents):
+                continue
+            yield self.violation(
+                source,
+                anchor,
+                f"unsynchronized {verb} on {shared} state "
+                f"{ast.unparse(base)!r}; hold a lock or justify with a "
+                "trailing '# lint: disable=CL011'",
+            )

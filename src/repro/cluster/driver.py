@@ -28,6 +28,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..analysis.concurrency import (
+    ConcurrencyReport,
+    ConcurrencyViolationError,
+    make_tracker,
+)
 from ..analysis.sanitizer import (
     NumericsViolationError,
     ViolationReport,
@@ -105,6 +110,9 @@ class RunResult:
     wall_seconds: float = 0.0
     #: merged metrics snapshot over all ranks (None when telemetry="off")
     telemetry: MetricsSnapshot | None = None
+    #: runtime concurrency findings -- races and watchdog-diagnosed
+    #: deadlocks (None when concurrency_check="off")
+    concurrency_report: ConcurrencyReport | None = None
 
     @property
     def cells_per_second(self) -> float:
@@ -484,12 +492,14 @@ class Simulation:
     def run(self) -> RunResult:
         from .mpi_sim import DEFAULT_TIMEOUT
 
+        tracker = make_tracker(self.config.concurrency_check)
         world = SimWorld(
             self.config.ranks,
             timeout=(self.config.comm_timeout
                      if self.config.comm_timeout is not None
                      else DEFAULT_TIMEOUT),
             injector=self.injector,
+            tracker=tracker,
         )
         try:
             rank_results: list[RankResult] = world.run(
@@ -497,11 +507,11 @@ class Simulation:
                 self.injector
             )
         except WorldError as we:
-            # Unwrap sanitizer aborts: when every failed rank raised a
-            # NumericsViolationError, re-raise one merged violation error
-            # so callers see the block-level findings directly instead of
-            # the SPMD wrapper.  Teardown aborts of surviving ranks are
-            # not primary causes and do not block the unwrap.
+            # Unwrap sanitizer/concurrency aborts: when every failed rank
+            # raised the same violation-carrying error, re-raise one
+            # merged error so callers see the findings directly instead
+            # of the SPMD wrapper.  Teardown aborts of surviving ranks
+            # are not primary causes and do not block the unwrap.
             failures = list(we.primary_failures.values())
             if failures and all(
                 isinstance(f, NumericsViolationError) for f in failures
@@ -510,6 +520,13 @@ class Simulation:
                 for f in failures:
                     merged.extend(f.violations)
                 raise NumericsViolationError(merged) from we
+            if failures and all(
+                isinstance(f, ConcurrencyViolationError) for f in failures
+            ):
+                merged = []
+                for f in failures:
+                    merged.extend(f.violations)
+                raise ConcurrencyViolationError(merged) from we
             raise
 
         final = None
@@ -548,4 +565,5 @@ class Simulation:
             telemetry=(
                 MetricsSnapshot.merged(snapshots) if snapshots else None
             ),
+            concurrency_report=tracker.report if tracker is not None else None,
         )

@@ -14,8 +14,20 @@ The API follows mpi4py conventions: lowercase methods communicate Python
 objects, capitalized methods communicate NumPy arrays.
 
 Deadlock safety: every blocking wait carries a timeout
-(:data:`DEFAULT_TIMEOUT` seconds) and raises :class:`CommTimeoutError`
-instead of hanging the test suite.
+(:data:`DEFAULT_TIMEOUT` seconds) and, instead of hanging the test
+suite, raises :class:`DeadlockError` -- a :class:`CommTimeoutError`
+carrying the deadlock watchdog's localized dump: every rank's pending
+operation plus the unmatched edge set (messages sent but never
+received).
+
+Concurrency checking: a :class:`repro.analysis.concurrency.RaceTracker`
+attached to the world (``SimWorld(..., tracker=...)``) receives
+happens-before edges from the runtime -- message sends piggyback the
+sender's vector clock on :class:`_Message`, collectives join the clocks
+of all participants -- and annotated accesses to the runtime's shared
+structures (mailboxes, rendezvous scratch, abort event, failure table).
+With no tracker attached (the default), every hook is one ``is None``
+test.
 
 Fault tolerance: when any rank thread dies, the world is *aborted* --
 ``MPI_Abort`` semantics -- so peers blocked in receives or collectives
@@ -47,6 +59,21 @@ class CommTimeoutError(RuntimeError):
     """A blocking communication did not complete within the timeout."""
 
 
+class DeadlockError(CommTimeoutError):
+    """A blocking wait timed out; carries the watchdog's localized dump.
+
+    ``report`` holds :meth:`SimWorld.deadlock_report`: each rank's
+    pending operation and the unmatched edge set at the moment of the
+    timeout.  Subclassing :class:`CommTimeoutError` keeps existing
+    failure classification (resilience rollback treats it as a
+    communication fault) working unchanged.
+    """
+
+    def __init__(self, message: str, report: str):
+        self.report = report
+        super().__init__(f"{message}\n{report}")
+
+
 class WorldAbortError(RuntimeError):
     """The world was aborted because another rank failed (teardown)."""
 
@@ -74,6 +101,9 @@ class _Message:
     source: int
     tag: int
     payload: Any
+    #: sender's vector clock at send time (happens-before piggyback;
+    #: None when no tracker is attached)
+    clock: dict[int, int] | None = None
 
 
 class _Mailbox:
@@ -135,6 +165,11 @@ class _Mailbox:
     def poll(self, source: int, tag: int) -> _Message | None:
         with self._cv:
             return self._match(source, tag)
+
+    def undelivered(self) -> list[tuple[int, int]]:
+        """``(source, tag)`` of every buffered-but-unreceived message."""
+        with self._cv:
+            return [(m.source, m.tag) for m in self._messages]
 
 
 class _Rendezvous:
@@ -268,14 +303,42 @@ class SimComm:
                 return
         self.bytes_sent += self._payload_bytes(payload)
         self.messages_sent += 1
-        self._world._mailboxes[dest].put(_Message(self.rank, tag, payload))
+        tracker = self._world.tracker
+        clock = None
+        if tracker is not None:
+            tracker.write(f"mailbox[{dest}]", self.rank,
+                          locks=(f"mailbox[{dest}].cv",),
+                          site="repro.cluster.mpi_sim:_Mailbox.put")
+            clock = tracker.on_send(self.rank)
+        self._world._mailboxes[dest].put(_Message(self.rank, tag, payload, clock))
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
              timeout: float | None = None) -> Any:
-        """Blocking receive; ``timeout=None`` uses the world timeout."""
+        """Blocking receive; ``timeout=None`` uses the world timeout.
+
+        A plain timeout is upgraded by the deadlock watchdog into a
+        :class:`DeadlockError` carrying every rank's pending operation
+        and the unmatched edge set.
+        """
+        world = self._world
         if timeout is None:
-            timeout = self._world.timeout
-        msg = self._world._mailboxes[self.rank].get(source, tag, timeout)
+            timeout = world.timeout
+        op = f"recv(source={source}, tag={tag})"
+        world._set_pending(self.rank, op)
+        try:
+            msg = world._mailboxes[self.rank].get(source, tag, timeout)
+        except DeadlockError:
+            raise
+        except CommTimeoutError as exc:
+            raise world._deadlock_error(self.rank, op) from exc
+        finally:
+            world._clear_pending(self.rank)
+        tracker = world.tracker
+        if tracker is not None:
+            tracker.write(f"mailbox[{self.rank}]", self.rank,
+                          locks=(f"mailbox[{self.rank}].cv",),
+                          site="repro.cluster.mpi_sim:_Mailbox.get")
+            tracker.on_deliver(self.rank, msg.clock)
         return msg.payload
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
@@ -293,15 +356,42 @@ class SimComm:
 
     # -- collectives --------------------------------------------------------
 
-    def _collective(self, value: Any, combiner) -> Any:
+    def _collective(self, value: Any, combiner, label: str = "collective") -> Any:
         gen = self._gen
         self._gen += 1
-        return self._world._rendezvous.contribute(
-            gen, self.rank, value, combiner, self._world.timeout
-        )
+        world = self._world
+        tracker = world.tracker
+        use_combiner = combiner
+        if tracker is not None:
+            tracker.write("rendezvous.scratch", self.rank,
+                          locks=("rendezvous.cv",),
+                          site="repro.cluster.mpi_sim:_Rendezvous.contribute")
+            value = (value, tracker.on_collective_enter(self.rank))
+
+            def wrapped(slot: dict[int, Any]) -> Any:
+                inner = {r: vc[0] for r, vc in slot.items()}
+                return combiner(inner), [vc[1] for vc in slot.values()]
+
+            use_combiner = wrapped
+        op = f"{label} (gen {gen})"
+        world._set_pending(self.rank, op)
+        try:
+            result = world._rendezvous.contribute(
+                gen, self.rank, value, use_combiner, world.timeout
+            )
+        except DeadlockError:
+            raise
+        except CommTimeoutError as exc:
+            raise world._deadlock_error(self.rank, op) from exc
+        finally:
+            world._clear_pending(self.rank)
+        if tracker is not None:
+            result, clocks = result
+            tracker.on_collective_exit(self.rank, clocks)
+        return result
 
     def barrier(self) -> None:
-        self._collective(None, lambda slot: True)
+        self._collective(None, lambda slot: True, label="barrier")
 
     def allreduce(self, value: Any, op: str = "sum") -> Any:
         """Reduce scalars/arrays with ``op`` in ('sum', 'max', 'min')."""
@@ -313,22 +403,26 @@ class SimComm:
                 acc = slot[r] if acc is None else fn(acc, slot[r])
             return acc
 
-        return self._collective(value, combiner)
+        return self._collective(value, combiner, label=f"allreduce({op})")
 
     def bcast(self, value: Any, root: int = 0) -> Any:
         return self._collective(
             value if self.rank == root else None,
             lambda slot: slot[root],
+            label="bcast",
         )
 
     def gather(self, value: Any, root: int = 0) -> list[Any] | None:
         result = self._collective(
-            value, lambda slot: [slot[r] for r in sorted(slot)]
+            value, lambda slot: [slot[r] for r in sorted(slot)], label="gather"
         )
         return result if self.rank == root else None
 
     def allgather(self, value: Any) -> list[Any]:
-        return self._collective(value, lambda slot: [slot[r] for r in sorted(slot)])
+        return self._collective(
+            value, lambda slot: [slot[r] for r in sorted(slot)],
+            label="allgather",
+        )
 
     def exscan(self, value: Any, op: str = "sum") -> Any:
         """Exclusive prefix reduction (rank 0 receives the identity).
@@ -347,7 +441,7 @@ class SimComm:
                 acc = slot[r] if acc is None else fn(acc, slot[r])
             return out
 
-        per_rank = self._collective(value, combiner)
+        per_rank = self._collective(value, combiner, label=f"exscan({op})")
         result = per_rank[self.rank]
         if result is None:
             # Identity element: 0 for scalars, zeros for arrays.
@@ -370,25 +464,78 @@ class SimWorld:
     """
 
     def __init__(self, size: int, timeout: float = DEFAULT_TIMEOUT,
-                 injector: Any | None = None):
+                 injector: Any | None = None, tracker: Any | None = None):
         if size < 1:
             raise ValueError("world size must be >= 1")
         self.size = size
         self.timeout = timeout
         self.injector = injector
+        #: optional :class:`repro.analysis.concurrency.RaceTracker`
+        #: (None = no concurrency checking, zero overhead)
+        self.tracker = tracker
         self._abort = threading.Event()
         self._mailboxes = [_Mailbox(self._abort) for _ in range(size)]
         self._rendezvous = _Rendezvous(size, self._abort)
+        # Deadlock watchdog state: the blocking operation each rank is
+        # currently parked in (always maintained; two locked dict ops
+        # per blocking call).
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, str] = {}
 
     def comm(self, rank: int) -> SimComm:
         return SimComm(self, rank)
 
-    def _signal_abort(self) -> None:
+    def _set_pending(self, rank: int, op: str) -> None:
+        with self._pending_lock:
+            self._pending[rank] = op
+
+    def _clear_pending(self, rank: int) -> None:
+        with self._pending_lock:
+            self._pending.pop(rank, None)
+
+    def deadlock_report(self) -> str:
+        """Localized watchdog dump of the current wait state (str).
+
+        Lists the blocking operation each rank is parked in and the
+        unmatched edge set -- messages buffered in a mailbox that no
+        receive has consumed.  An empty edge set under a stuck receive
+        means the matching send was never posted (or was dropped).
+        """
+        with self._pending_lock:
+            pending = dict(self._pending)
+        lines = ["deadlock watchdog: pending operation per rank:"]
+        for r in range(self.size):
+            lines.append(f"  rank {r}: {pending.get(r, 'not blocked in comm')}")
+        lines.append("unmatched edges (sent but never received):")
+        edges = [
+            f"  (source={src}, tag={tag}) -> rank {r} buffered, unconsumed"
+            for r, box in enumerate(self._mailboxes)
+            for src, tag in box.undelivered()
+        ]
+        lines.extend(edges or ["  none (the matching send was never posted)"])
+        return "\n".join(lines)
+
+    def _deadlock_error(self, rank: int, op: str) -> DeadlockError:
+        """Build the watchdog's :class:`DeadlockError` for a timed-out op."""
+        report = self.deadlock_report()
+        if self.tracker is not None:
+            self.tracker.on_deadlock(
+                f"deadlock: rank {rank} timed out in {op} "
+                "(see DeadlockError report for the per-rank dump)",
+                site=f"runtime:rank{rank}",
+            )
+        return DeadlockError(f"rank {rank}: {op} timed out", report)
+
+    def _signal_abort(self, rank: int | None = None) -> None:
         """MPI_Abort analogue: wake every blocked rank with WorldAbortError.
 
         Called when any rank fails; without it, surviving ranks would sit
-        in recv/collective waits until their timeout expires.
+        in recv/collective waits until their timeout expires.  ``rank``
+        (when known) attributes the abort-event write for the tracker.
         """
+        if self.tracker is not None and rank is not None:
+            self.tracker.write("world.abort", rank, locks=("abort.event",),
+                               site="repro.cluster.mpi_sim:SimWorld._signal_abort")
         self._abort.set()
         for box in self._mailboxes:
             box.wake_for_abort()
@@ -397,13 +544,25 @@ class SimWorld:
     def run(self, main: Callable[..., Any], *args: Any) -> list[Any]:
         results: list[Any] = [None] * self.size
         failures: dict[int, BaseException] = {}
+        # Rank threads can fail concurrently; the lock orders the shared
+        # failure-table mutation (``results`` needs none: each rank owns
+        # its slot).
+        failures_lock = threading.Lock()
 
         def runner(rank: int) -> None:
             try:
-                results[rank] = main(self.comm(rank), *args)
+                # Each rank owns its slot: disjoint indices, no lock needed.
+                results[rank] = main(self.comm(rank), *args)  # lint: disable=CL011
             except BaseException as exc:  # noqa: BLE001 - reported below  # lint: disable=CL005
-                failures[rank] = exc
-                self._signal_abort()
+                if self.tracker is not None:
+                    self.tracker.write(
+                        "world.failures", rank,
+                        locks=("world.failures.lock",),
+                        site="repro.cluster.mpi_sim:SimWorld.run",
+                    )
+                with failures_lock:
+                    failures[rank] = exc
+                self._signal_abort(rank)
 
         if self.size == 1:
             # Fast path: no threads for single-rank runs.

@@ -43,6 +43,12 @@ class SimulationConfig:
     telemetry: str = "off"
     #: bound of the per-rank span-event buffer in trace mode
     telemetry_max_events: int = 65536
+    #: runtime concurrency-check policy for the thread-based cluster
+    #: runtime: "off" (production default; zero overhead), "warn"
+    #: (record races/deadlocks on the run report, keep running) or
+    #: "raise" (abort the offending rank on the first race).  See
+    #: :mod:`repro.analysis.concurrency`.
+    concurrency_check: str = "off"
 
     # -- parallelization ---------------------------------------------------
     ranks: int = 1  #: simulated MPI ranks
@@ -121,6 +127,13 @@ class SimulationConfig:
             )
         if self.telemetry_max_events < 0:
             raise ValueError("telemetry_max_events must be >= 0")
+        from ..analysis.concurrency import POLICIES as CONCURRENCY_POLICIES
+
+        if self.concurrency_check not in CONCURRENCY_POLICIES:
+            raise ValueError(
+                f"concurrency_check={self.concurrency_check!r} not in "
+                f"{CONCURRENCY_POLICIES}"
+            )
         if self.checkpoint_keep < 0:
             raise ValueError("checkpoint_keep must be >= 0")
         if self.comm_timeout is not None and self.comm_timeout <= 0:

@@ -29,9 +29,9 @@ def rules_of(violations):
 # -- registry & framework ------------------------------------------------
 
 
-def test_registry_has_the_ten_rules():
+def test_registry_has_the_eleven_rules():
     ids = [cls.rule_id for cls in registered_rules()]
-    assert ids == [f"CL00{i}" for i in range(1, 10)] + ["CL010"]
+    assert ids == [f"CL00{i}" for i in range(1, 10)] + ["CL010", "CL011"]
     for cls in registered_rules():
         assert cls.name and cls.description
 
@@ -429,6 +429,107 @@ def test_cl010_out_of_scope_elsewhere():
     assert "CL010" not in rules_of(out)
 
 
+# -- CL011: unsynchronized shared mutation -------------------------------
+
+
+def test_cl011_flags_module_level_mutation_from_function():
+    out = lint(
+        """
+        CACHE = {}
+        def remember(rank, value):
+            CACHE[rank] = value
+        """,
+        path="src/repro/cluster/fixture.py",
+    )
+    assert "CL011" in rules_of(out)
+
+
+def test_cl011_flags_closure_mutation_from_nested_function():
+    out = lint(
+        """
+        def run(size):
+            failures = {}
+            def runner(rank):
+                failures[rank] = "boom"
+            return failures
+        """,
+        path="src/repro/cluster/fixture.py",
+    )
+    assert "CL011" in rules_of(out)
+
+
+def test_cl011_flags_mutating_method_calls():
+    out = lint(
+        """
+        EVENTS = []
+        def record(ev):
+            EVENTS.append(ev)
+        """,
+        path="src/repro/cluster/fixture.py",
+    )
+    assert "CL011" in rules_of(out)
+
+
+def test_cl011_clean_under_lock():
+    out = lint(
+        """
+        import threading
+        CACHE = {}
+        _LOCK = threading.Lock()
+        def remember(rank, value):
+            with _LOCK:
+                CACHE[rank] = value
+        """,
+        path="src/repro/cluster/fixture.py",
+    )
+    assert "CL011" not in rules_of(out)
+
+
+def test_cl011_clean_for_function_local_state():
+    out = lint(
+        """
+        def collect(items):
+            out = {}
+            for i, item in enumerate(items):
+                out[i] = item
+            return out
+        """,
+        path="src/repro/cluster/fixture.py",
+    )
+    assert "CL011" not in rules_of(out)
+
+
+def test_cl011_clean_at_module_scope_and_out_of_scope_paths():
+    module_scope = """
+        TABLE = {}
+        TABLE["init"] = 1
+        """
+    assert "CL011" not in rules_of(
+        lint(module_scope, path="src/repro/cluster/fixture.py")
+    )
+    shared = """
+        CACHE = {}
+        def remember(k, v):
+            CACHE[k] = v
+        """
+    assert "CL011" not in rules_of(
+        lint(shared, path="src/repro/perf/fixture.py")
+    )
+
+
+def test_cl011_pragma_opt_out():
+    out = lint(
+        """
+        def run(size):
+            results = [None] * size
+            def runner(rank):
+                results[rank] = rank  # lint: disable=CL011
+        """,
+        path="src/repro/cluster/fixture.py",
+    )
+    assert "CL011" not in rules_of(out)
+
+
 # -- pragmas -------------------------------------------------------------
 
 
@@ -469,6 +570,67 @@ def test_pragma_disables_multiple_rules():
     assert out == []
 
 
+def test_trailing_pragma_covers_multiline_statement():
+    # The violation anchors on the np.float32 line, while the pragma
+    # sits on the closing line of the same (parenthesised) statement.
+    out = lint(
+        """
+        import numpy as np
+        a = (
+            np.float32
+        )  # lint: disable=CL001
+        """
+    )
+    assert "CL001" not in rules_of(out)
+
+
+def test_trailing_pragma_on_first_line_of_multiline_statement():
+    out = lint(
+        """
+        import numpy as np
+        a = (  # lint: disable=CL001
+            np.float32
+        )
+        """
+    )
+    assert "CL001" not in rules_of(out)
+
+
+def test_pragma_on_compound_header_does_not_silence_body():
+    # A trailing pragma on an `if` header covers only the header lines;
+    # violations inside the body still fire.
+    out = lint(
+        """
+        import numpy as np
+        if True:  # lint: disable=CL001
+            a = np.float32
+        """
+    )
+    assert "CL001" in rules_of(out)
+
+
+def test_pragma_on_multiline_def_header_covers_signature_only():
+    out = lint(
+        """
+        def f(
+            x,
+            acc=[],
+        ):  # lint: disable=CL004
+            'Returns the accumulator.'
+            return acc
+
+
+        def g(x, acc={}):
+            'Returns the accumulator.'
+            return acc
+        """
+    )
+    # The pragma on f's multi-line signature suppresses its CL004; g's
+    # separate violation survives.
+    assert rules_of(out) == ["CL004"]
+    assert out[0].line == 10
+
+
 # -- config: select / ignore / rule_paths --------------------------------
 
 
@@ -486,6 +648,32 @@ def test_config_rule_paths_override():
     assert lint(text, config=cfg) == []
     assert "CL001" in rules_of(
         lint_source(text, "src/repro/sim/fixture.py", config=cfg)
+    )
+
+
+def test_config_rule_paths_override_to_none_widens_scope():
+    # CL011 defaults to cluster/ only; overriding its scope to None
+    # makes it apply everywhere.
+    text = "CACHE = {}\ndef put(k, v):\n    CACHE[k] = v\n"
+    assert "CL011" not in rules_of(
+        lint_source(text, "src/repro/perf/fixture.py")
+    )
+    cfg = LintConfig(rule_paths={"CL011": None})
+    assert "CL011" in rules_of(
+        lint_source(text, "src/repro/perf/fixture.py", config=cfg)
+    )
+
+
+def test_config_rule_paths_override_narrows_scoped_rule():
+    # CL011 normally fires in cluster/; scoping it to resilience/ only
+    # exempts cluster files.
+    text = "CACHE = {}\ndef put(k, v):\n    CACHE[k] = v\n"
+    cfg = LintConfig(rule_paths={"CL011": ("resilience/",)})
+    assert "CL011" not in rules_of(
+        lint_source(text, "src/repro/cluster/fixture.py", config=cfg)
+    )
+    assert "CL011" in rules_of(
+        lint_source(text, "src/repro/resilience/fixture.py", config=cfg)
     )
 
 
@@ -514,8 +702,72 @@ def test_cli_exit_codes(tmp_path, capsys):
     assert "CL001" in out and "bad.py" in out
 
 
+def test_cli_exit_code_2_on_unknown_rule_id(capsys):
+    assert lint_main(["--select", "CL999", SRC]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule id" in err and "CL999" in err
+    assert lint_main(["--ignore", "CX123", SRC]) == 2
+
+
+def test_cli_exit_code_2_on_missing_path(capsys):
+    assert lint_main(["no/such/dir"]) == 2
+    err = capsys.readouterr().err
+    assert "no such path" in err and "no/such/dir" in err
+
+
+def test_cli_concurrency_mode_clean_tree(capsys):
+    assert lint_main(["--concurrency", SRC]) == 0
+    err = capsys.readouterr().err
+    assert "comm-check" in err and "clean" in err
+
+
+def test_cli_concurrency_mode_flags_defects(tmp_path, capsys):
+    bad = tmp_path / "cluster" / "proto.py"
+    bad.parent.mkdir()
+    bad.write_text(textwrap.dedent(
+        """
+        def exchange(comm):
+            'Sends to the right neighbor but never posts the receive.'
+            comm.send(b"x", dest=(comm.rank + 1) % comm.size, tag=7)
+        """
+    ))
+    assert lint_main(["--concurrency", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "CC001" in out
+
+
+def test_cli_report_out_writes_json_artifact(tmp_path):
+    import json
+
+    report = tmp_path / "comm-check.json"
+    assert lint_main(["--concurrency", SRC,
+                      "--report-out", str(report)]) == 0
+    payload = json.loads(report.read_text())
+    assert payload["findings"] == []
+    assert payload["checks_run"] > 0
+
+    lint_report = tmp_path / "lint.json"
+    bad = tmp_path / "core" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("import numpy as np\na = np.float32\n")
+    assert lint_main([str(bad), "--report-out", str(lint_report)]) == 1
+    payload = json.loads(lint_report.read_text())
+    assert payload["findings"][0]["rule"] == "CL001"
+
+
+def test_cli_report_out_unwritable_is_exit_2(tmp_path, capsys):
+    target = tmp_path / "missing-dir" / "report.json"
+    assert lint_main(["--concurrency", SRC,
+                      "--report-out", str(target)]) == 2
+    assert "cubism-lint" in capsys.readouterr().err
+
+
 def test_cli_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for i in range(1, 9):
         assert f"CL00{i}" in out
+    assert "CL011" in out
+    for cc in ("CC001", "CC002", "CC003", "CC004"):
+        assert cc in out
+    assert "--concurrency" in out
