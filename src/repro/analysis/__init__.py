@@ -28,6 +28,10 @@ Three parts:
   (rules CC001..CC004, ``python -m repro.analysis --concurrency``), and
   a dynamic vector-clock race detector + deadlock watchdog for the
   thread-based runtime (CC101/CC102, ``--concurrency-check`` on runs).
+* :mod:`repro.analysis.perfcheck` -- **kernel-check**, a static hot-path
+  performance analyzer (rules CP001..CP006, ``python -m repro.analysis
+  --perf``) that certifies the declared hot-path kernels for compiled
+  backends and emits the machine-readable ``kernel_manifest.json``.
 
 See ``docs/analysis.md`` for the full rule catalogue and usage.
 """
@@ -54,6 +58,16 @@ from .lint import (
     lint_source,
     registered_rules,
 )
+from .perfcheck import (
+    HOT_KERNELS,
+    KernelSpec,
+    PerfReport,
+    build_kernel_manifest,
+    registered_perf_rules,
+    write_kernel_manifest,
+)
+from .perfcheck import check_paths as perf_check_paths
+from .perfcheck import check_sources as perf_check_sources
 from .sanitizer import (
     POLICIES,
     NumericsSanitizer,
@@ -76,6 +90,14 @@ __all__ = [
     "check_sources",
     "make_tracker",
     "registered_program_rules",
+    "HOT_KERNELS",
+    "KernelSpec",
+    "PerfReport",
+    "build_kernel_manifest",
+    "perf_check_paths",
+    "perf_check_sources",
+    "registered_perf_rules",
+    "write_kernel_manifest",
     "LintConfig",
     "Rule",
     "SourceFile",

@@ -1,11 +1,15 @@
-"""Command-line front end of ``cubism-lint`` and comm-check.
+"""Command-line front end of ``cubism-lint``, comm-check and kernel-check.
 
 Usage::
 
     python -m repro.analysis src/repro            # lint the solver tree
     python -m repro.analysis --concurrency src/repro  # static comm-check
+    python -m repro.analysis --perf src/repro     # static perf analyzer
     python -m repro.analysis --list-rules         # print the catalogues
     cubism-lint src/repro --select CL001,CL002    # installed entry point
+
+``--perf`` additionally emits the kernel certification manifest
+(``--manifest-out``, default ``kernel_manifest.json``).
 
 Exit codes: 0 clean, 1 violations found, 2 usage/config error (unknown
 rule id, nonexistent path, unreadable file).
@@ -20,6 +24,7 @@ from pathlib import Path
 
 from .concurrency import check_paths, registered_program_rules
 from .lint import LintConfig, format_violations, lint_paths, registered_rules
+from .perfcheck import analyze_paths, registered_perf_rules, write_kernel_manifest
 
 # Importing the catalogue populates the registry.
 from . import rules as _rules  # noqa: F401  (registry population)
@@ -47,6 +52,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--concurrency", action="store_true",
         help="run comm-check (whole-program MPI protocol verification, "
         "CC-series rules) instead of the per-file lint rules",
+    )
+    ap.add_argument(
+        "--perf", action="store_true",
+        help="run kernel-check (static hot-path performance analyzer, "
+        "CP-series rules) and emit the kernel certification manifest",
+    )
+    ap.add_argument(
+        "--manifest-out", metavar="PATH", default=None,
+        help="where --perf writes kernel_manifest.json "
+        "(default: ./kernel_manifest.json)",
     )
     ap.add_argument(
         "--select", metavar="RULES",
@@ -81,14 +96,18 @@ def list_rules() -> str:
     for cls in registered_program_rules():
         lines.append(f"{cls.rule_id}  {cls.name}  [whole program, --concurrency]")
         lines.append(f"       {cls.description}")
+    for cls in registered_perf_rules():
+        lines.append(f"{cls.rule_id}  {cls.name}  [hot-path kernels, --perf]")
+        lines.append(f"       {cls.description}")
     return "\n".join(lines)
 
 
 def _known_rule_ids() -> set[str]:
-    """Every selectable rule id (lint CLxxx + program CCxxx) as a set."""
+    """Every selectable rule id (CLxxx + CCxxx + CPxxx) as a set."""
     return (
         {cls.rule_id for cls in registered_rules()}
         | {cls.rule_id for cls in registered_program_rules()}
+        | {cls.rule_id for cls in registered_perf_rules()}
     )
 
 
@@ -117,7 +136,23 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     try:
-        if args.concurrency:
+        if args.perf:
+            program, report = analyze_paths(args.paths)
+            violations = [
+                v for v in report.violations
+                if (select is None or v.rule in select)
+                and v.rule not in ignore
+            ]
+            report.violations = violations
+            payload = report.to_dict()
+            clean_msg = f"kernel-check: {report.summary()}"
+            manifest_out = args.manifest_out or "kernel_manifest.json"
+            try:
+                write_kernel_manifest(program, report, manifest_out)
+            except OSError as exc:
+                print(f"cubism-lint: {exc}", file=sys.stderr)
+                return 2
+        elif args.concurrency:
             report = check_paths(args.paths)
             violations = [
                 v for v in report.violations

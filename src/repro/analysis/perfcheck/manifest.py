@@ -1,0 +1,157 @@
+"""Machine-readable kernel manifest emitted by the perf analyzer.
+
+``kernel_manifest.json`` is the analyzer's certification artifact: one
+record per declared hot-path kernel with its signature, dtype contract,
+the backend set it is *certified* for (declared backends minus any
+compiled backend invalidated by post-pragma CP004/CP005 findings in the
+kernel's call closure), and its statically counted arithmetic intensity
+next to the shared roofline-model value.  The upcoming backend registry
+consumes this file as its source of truth for which kernels may be
+dispatched to a compiled backend; CI regenerates and uploads it on every
+run so drift between code and certification is visible in review.
+
+Schema (``repro.kernel_manifest/v1``)::
+
+    {
+      "schema": "repro.kernel_manifest/v1",
+      "checks_run": <int>,
+      "findings_total": <int>,
+      "kernels": [
+        {
+          "name": ..., "module": ..., "signature": ...,
+          "dtype_contract": ...,
+          "declared_backends": [...], "certified_backends": [...],
+          "closure": [...],
+          "arithmetic": {
+            "counted_flops_per_point": <float>,
+            "counted_bytes_per_point": <float>,
+            "counted_intensity": <float|null>,
+            "modeled_intensity": <float|null>,
+            "model_key": <str|null>
+          },
+          "findings": <int>
+        }, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+from ..lint import Violation
+from .model import BACKEND_NUMBA, modeled_arithmetic
+from .program import KernelInfo, PerfProgram
+from .report import PerfReport
+
+#: Manifest schema identifier.
+MANIFEST_SCHEMA = "repro.kernel_manifest/v1"
+
+#: Findings under these rules invalidate compiled-backend certification.
+_CERTIFICATION_RULES = frozenset({"CP004", "CP005"})
+
+
+def _signature(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> str:
+    """Source-level signature string of a kernel function."""
+    args = fn.args
+    parts: list[str] = []
+    pos = list(args.posonlyargs) + list(args.args)
+    defaults: list[ast.expr | None] = [None] * (len(pos) - len(args.defaults))
+    defaults += list(args.defaults)
+    for arg, default in zip(pos, defaults):
+        text = arg.arg
+        if default is not None:
+            text += f"={ast.unparse(default)}"
+        parts.append(text)
+    if args.vararg is not None:
+        parts.append(f"*{args.vararg.arg}")
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        text = arg.arg
+        if default is not None:
+            text += f"={ast.unparse(default)}"
+        parts.append(text)
+    if args.kwarg is not None:
+        parts.append(f"**{args.kwarg.arg}")
+    return f"{fn.name}({', '.join(parts)})"
+
+
+def _closure_findings(
+    info: KernelInfo, program: PerfProgram, report: PerfReport
+) -> list[Violation]:
+    """Report findings that land inside the kernel's call closure."""
+    spans: list[tuple[str, int, int]] = []
+    for name in info.closure:
+        entry = program.functions.get(name)
+        if entry is None:
+            continue
+        end = getattr(entry.fn, "end_lineno", entry.fn.lineno)
+        spans.append((entry.path, entry.fn.lineno, end or entry.fn.lineno))
+    out = []
+    for v in report.violations:
+        for path, lo, hi in spans:
+            if v.path == path and lo <= v.line <= hi:
+                out.append(v)
+                break
+    return out
+
+
+def certified_backends(
+    info: KernelInfo, findings: list[Violation]
+) -> tuple[str, ...]:
+    """Declared backends minus compiled ones invalidated by findings."""
+    backends = list(info.spec.backends)
+    if any(v.rule in _CERTIFICATION_RULES for v in findings):
+        backends = [b for b in backends if b != BACKEND_NUMBA]
+    return tuple(backends)
+
+
+def build_kernel_manifest(
+    program: PerfProgram, report: PerfReport
+) -> dict:
+    """Build the manifest payload from an analyzed program + report."""
+    kernels = []
+    for info in sorted(program.kernels, key=lambda k: k.spec.name):
+        findings = _closure_findings(info, program, report)
+        model = modeled_arithmetic(info.spec)
+        kernels.append({
+            "name": info.spec.name,
+            "module": info.spec.module,
+            "signature": _signature(info.entry.fn),
+            "dtype_contract": info.spec.dtype_contract,
+            "declared_backends": list(info.spec.backends),
+            "certified_backends": list(certified_backends(info, findings)),
+            "closure": sorted(info.closure),
+            "arithmetic": {
+                "counted_flops_per_point": round(info.counted_flops, 1),
+                "counted_bytes_per_point": round(info.counted_bytes, 1),
+                "counted_intensity": (
+                    round(info.counted_intensity, 4)
+                    if info.counted_bytes > 0 else None
+                ),
+                "modeled_intensity": (
+                    round(model.intensity, 4) if model is not None else None
+                ),
+                "model_key": info.spec.model_key,
+            },
+            "findings": len(findings),
+        })
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "checks_run": report.checks_run,
+        "findings_total": len(report.violations),
+        "kernels": kernels,
+    }
+
+
+def write_kernel_manifest(
+    program: PerfProgram, report: PerfReport, path: str | Path
+) -> dict:
+    """Write ``kernel_manifest.json``; returns the payload."""
+    payload = build_kernel_manifest(program, report)
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    return payload

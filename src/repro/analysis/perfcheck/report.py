@@ -1,0 +1,65 @@
+"""Report format of the static performance analyzer (kernel-check).
+
+perfcheck findings are ordinary :class:`repro.analysis.lint.Violation`
+records under CP-series rule ids, accumulated in a :class:`PerfReport`
+that mirrors the concurrency passes'
+:class:`~repro.analysis.concurrency.report.ConcurrencyReport`: the same
+``file:line:col: RULE message`` lines on the CLI, the same JSON payload
+shape in the CI artifact, and one ``summary()`` string on the run
+scorecard.
+
+Rule-id convention: ``CP0xx`` are static whole-program performance
+findings (dtype propagation, hidden temporaries, compiled-subset
+certification, arithmetic-intensity cross-checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lint import Violation
+
+
+@dataclass
+class PerfReport:
+    """Accumulated perfcheck findings of one analysis run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    checks_run: int = 0
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def by_rule(self) -> dict[str, int]:
+        """Returns violation counts keyed by CP rule id."""
+        out: dict[str, int] = {}
+        for v in self.violations:
+            out[v.rule] = out.get(v.rule, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        """Returns a one-line summary suitable for scorecards/CLI."""
+        if not self.violations:
+            return f"perfcheck: clean ({self.checks_run} checks)"
+        parts = ", ".join(f"{k}={n}" for k, n in sorted(self.by_rule().items()))
+        return (
+            f"perfcheck: {len(self.violations)} finding(s) in "
+            f"{self.checks_run} checks ({parts})"
+        )
+
+    def to_dict(self) -> dict:
+        """Returns a JSON-serializable payload (the CI report artifact)."""
+        return {
+            "checks_run": self.checks_run,
+            "findings": [
+                {
+                    "path": v.path,
+                    "line": v.line,
+                    "col": v.col,
+                    "rule": v.rule,
+                    "message": v.message,
+                }
+                for v in sorted(self.violations)
+            ],
+            "by_rule": self.by_rule(),
+        }

@@ -28,7 +28,7 @@ from ..physics.eos import conserved_to_primitive, max_characteristic_velocity
 from ..physics.equations import compute_rhs
 from ..physics.riemann import hlle_flux
 from ..physics.state import COMPUTE_DTYPE, GAMMA, NQ, PI
-from ..physics.weno import weno5
+from ..physics.weno import Weno5Workspace, weno5
 from .block import GHOSTS
 from .ringbuffer import RING_DEPTH, SliceRing
 
@@ -58,38 +58,47 @@ def rhs_kernel(pad_aos: np.ndarray, h: float, fused: bool = False,
     return np.ascontiguousarray(np.moveaxis(rhs_soa, 0, -1))
 
 
-def _plane_rhs(W2d: np.ndarray, h: float) -> np.ndarray:
+def _plane_rhs(
+    W2d: np.ndarray, h: float, workspace: Weno5Workspace | None = None
+) -> np.ndarray:
     """x- and y-sweep contributions for one padded primitive z-slice.
 
     ``W2d`` has shape ``(NQ, n+6, n+6)`` (axes: quantity, y, x) and holds
     primitives.  Returns the SoA contribution ``(NQ, n, n)`` of the two
     in-plane directional sweeps (flux divergence subtracted,
-    quasi-conservative correction added).
+    quasi-conservative correction added).  Both sweeps reconstruct into
+    the same (optionally caller-held) :class:`Weno5Workspace`.
     """
     g = GHOSTS
     inv_h = 1.0 / h
-    out = None
 
     # x sweep: interior in y, padded in x; reconstruct along the last axis.
     Wd = W2d[:, g:-g, :]
-    Wm, Wp = weno5(Wd)
+    face_shape = Wd.shape[:-1] + (Wd.shape[-1] - 5,)
+    if workspace is None or workspace.shape != face_shape:
+        workspace = Weno5Workspace(face_shape, dtype=Wd.dtype)
+    Wm, Wp = weno5(Wd, workspace)
     flux, ustar = hlle_flux(Wm, Wp, normal=0)
-    div = (flux[..., 1:] - flux[..., :-1]) * inv_h
-    du = (ustar[..., 1:] - ustar[..., :-1]) * inv_h
+    div = np.subtract(flux[..., 1:], flux[..., :-1])
+    div *= inv_h
+    du = np.subtract(ustar[..., 1:], ustar[..., :-1])
+    du *= inv_h
     Wc = Wd[..., g:-g]
-    contrib = -div
+    contrib = np.negative(div, out=div)
     contrib[GAMMA] += Wc[GAMMA] * du
     contrib[PI] += Wc[PI] * du
     out = contrib
 
     # y sweep: interior in x, padded in y; swap axes to sweep contiguously.
     Wd = np.ascontiguousarray(np.swapaxes(W2d[:, :, g:-g], 1, 2))
-    Wm, Wp = weno5(Wd)
+    Wm, Wp = weno5(Wd, workspace)
     flux, ustar = hlle_flux(Wm, Wp, normal=1)
-    div = (flux[..., 1:] - flux[..., :-1]) * inv_h
-    du = (ustar[..., 1:] - ustar[..., :-1]) * inv_h
+    div = np.subtract(flux[..., 1:], flux[..., :-1])
+    div *= inv_h
+    du = np.subtract(ustar[..., 1:], ustar[..., :-1])
+    du *= inv_h
     Wc = Wd[..., g:-g]
-    contrib = -div
+    contrib = np.negative(div, out=div)
     contrib[GAMMA] += Wc[GAMMA] * du
     contrib[PI] += Wc[PI] * du
     out += np.swapaxes(contrib, 1, 2)
@@ -114,6 +123,11 @@ def rhs_kernel_slices(pad_aos: np.ndarray, h: float) -> np.ndarray:
     ring = SliceRing((NQ, m, m), depth=RING_DEPTH, dtype=COMPUTE_DTYPE)
     rhs = np.empty((n, n, n, NQ), dtype=COMPUTE_DTYPE)
 
+    # Workspaces held across the sweep: one for the z-face stencils, one
+    # shared by the in-plane sweeps of every finalized slice.
+    ws_z = Weno5Workspace((NQ, n, n, 1), dtype=COMPUTE_DTYPE)
+    ws_plane = Weno5Workspace((NQ, n, n + 1), dtype=COMPUTE_DTYPE)
+
     flux_prev: np.ndarray | None = None
     ustar_prev: np.ndarray | None = None
 
@@ -134,7 +148,7 @@ def rhs_kernel_slices(pad_aos: np.ndarray, h: float) -> np.ndarray:
         sten = np.stack(
             [ring[i][:, g:-g, g:-g] for i in range(RING_DEPTH)], axis=-1
         )  # (NQ, n, n, 6)
-        Wm, Wp = weno5(sten)
+        Wm, Wp = weno5(sten, ws_z)
         flux, ustar = hlle_flux(Wm[..., 0], Wp[..., 0], normal=2)
 
         if f >= 1:
@@ -144,9 +158,15 @@ def rhs_kernel_slices(pad_aos: np.ndarray, h: float) -> np.ndarray:
             # oldest entry).
             k = f - 1
             Wcenter = ring[RING_DEPTH - 1 - GHOSTS]
-            contrib = _plane_rhs(Wcenter, h)
-            contrib -= (flux - flux_prev) * inv_h
-            du = (ustar - ustar_prev) * inv_h
+            contrib = _plane_rhs(Wcenter, h, ws_plane)
+            # The outgoing face buffers double as scratch: they are
+            # superseded by (flux, ustar) right after this block.
+            np.subtract(flux, flux_prev, out=flux_prev)
+            flux_prev *= inv_h
+            contrib -= flux_prev
+            np.subtract(ustar, ustar_prev, out=ustar_prev)
+            ustar_prev *= inv_h
+            du = ustar_prev
             Wc_int = Wcenter[:, g:-g, g:-g]
             contrib[GAMMA] += Wc_int[GAMMA] * du
             contrib[PI] += Wc_int[PI] * du

@@ -132,7 +132,13 @@ def max_characteristic_velocity(W: np.ndarray) -> float:
     This is the quantity globally reduced by the DT kernel (paper Fig. 1) to
     determine the CFL-limited time step.  Returns a python float.
     """
-    rho, u, v, w, p, G, P = (W[i] for i in range(NQ))
+    rho = W[RHO]
+    u = W[RHOU]
+    v = W[RHOV]
+    w = W[RHOW]
+    p = W[ENERGY]
+    G = W[GAMMA]
+    P = W[PI]
     c = sound_speed(rho, p, G, P)
     speed = np.maximum(np.abs(u), np.maximum(np.abs(v), np.abs(w))) + c
     return float(speed.max())

@@ -36,13 +36,13 @@ def _sweep_faces(Wd: np.ndarray, fused: bool,
         return weno3(Wd)
     if order != 5:
         raise ValueError(f"unsupported WENO order {order}")
+    nfaces = Wd.shape[-1] - 5
+    out_shape = Wd.shape[:-1] + (nfaces,)
+    if workspace is None or workspace.shape != out_shape:
+        workspace = Weno5Workspace(out_shape, dtype=Wd.dtype)
     if fused:
-        nfaces = Wd.shape[-1] - 5
-        out_shape = Wd.shape[:-1] + (nfaces,)
-        if workspace is None or workspace.shape != out_shape:
-            workspace = Weno5Workspace(out_shape, dtype=Wd.dtype)
         return weno5_fused(Wd, workspace)
-    return weno5(Wd)
+    return weno5(Wd, workspace)
 
 
 def directional_rhs(
@@ -100,23 +100,29 @@ def directional_rhs(
     W_minus, W_plus = _sweep_faces(
         np.ascontiguousarray(Wd), fused, workspace, order=order
     )
-    try:
-        flux_fn = RIEMANN_SOLVERS[solver]
-    except KeyError:
+    # Explicit branch (not the RIEMANN_SOLVERS table): dict-of-functions
+    # dispatch does not lower to compiled backends (perfcheck CP004).
+    if solver == "hlle":
+        flux_fn = hlle_flux
+    elif solver == "hllc":
+        flux_fn = hllc_flux
+    else:
         raise ValueError(
             f"unknown Riemann solver {solver!r}; choose from "
             f"{sorted(RIEMANN_SOLVERS)}"
-        ) from None
+        )
     flux, ustar = flux_fn(W_minus, W_plus, normal)
 
     inv_h = 1.0 / h
-    div = (flux[..., 1:] - flux[..., :-1]) * inv_h
-    du = (ustar[..., 1:] - ustar[..., :-1]) * inv_h
+    div = np.subtract(flux[..., 1:], flux[..., :-1])
+    div *= inv_h
+    du = np.subtract(ustar[..., 1:], ustar[..., :-1])
+    du *= inv_h
 
     phi_corr = np.zeros_like(div)
     Wc = Wd[..., g:-g]
-    phi_corr[GAMMA] = Wc[GAMMA] * du
-    phi_corr[PI] = Wc[PI] * du
+    np.multiply(Wc[GAMMA], du, out=phi_corr[GAMMA])
+    np.multiply(Wc[PI], du, out=phi_corr[PI])
 
     if sweep_axis != 3:
         div = np.swapaxes(div, sweep_axis, 3)

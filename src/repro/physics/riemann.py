@@ -42,16 +42,48 @@ def einfeldt_wave_speeds(rho_l, un_l, p_l, G_l, P_l, rho_r, un_r, p_r, G_r, P_r)
     return s_l, s_r
 
 
-def _hlle_combine(s_l, s_r, F_l, F_r, U_l, U_r):
-    """The HLLE flux formula with supersonic upwinding built in."""
+def _hlle_wave_bounds(s_l, s_r):
+    """Clipped wave speeds and division guards shared by all components.
+
+    The HLLE combination needs ``min(s_l, 0)``, ``max(s_r, 0)``, their
+    product, a guarded span and the subsonic mask -- identical for every
+    one of the eight flux components of a face batch, so they are hoisted
+    out of :func:`_hlle_combine` and computed once per call to
+    :func:`hlle_flux`.  Returns ``(s_l_m, s_r_p, prod, safe, subsonic)``.
+    """
     s_l_m = np.minimum(s_l, 0.0)
     s_r_p = np.maximum(s_r, 0.0)
     span = s_r_p - s_l_m
     # Degenerate span (both speeds zero) can only occur for identically
     # zero states; guard the division and fall back to the average.
     safe = np.where(span > 0.0, span, 1.0)
-    flux = (s_r_p * F_l - s_l_m * F_r + s_l_m * s_r_p * (U_r - U_l)) / safe
-    return np.where(span > 0.0, flux, 0.5 * (F_l + F_r))
+    prod = s_l_m * s_r_p
+    subsonic = span > 0.0
+    return s_l_m, s_r_p, prod, safe, subsonic
+
+
+def _hlle_combine(bounds, F_l, F_r, U_l, U_r, out, t0, t1):
+    """The HLLE flux formula with supersonic upwinding built in.
+
+    ``bounds`` is the tuple of :func:`_hlle_wave_bounds`; ``out`` receives
+    the combined flux and ``t0``/``t1`` are caller-owned scratch buffers,
+    so one face batch is combined with zero allocations.  The evaluation
+    order matches the original expression form bit for bit.
+    """
+    s_l_m, s_r_p, prod, safe, subsonic = bounds
+    np.multiply(s_r_p, F_l, out=t0)
+    np.multiply(s_l_m, F_r, out=t1)
+    np.subtract(t0, t1, out=t0)
+    np.subtract(U_r, U_l, out=t1)
+    np.multiply(prod, t1, out=t1)
+    np.add(t0, t1, out=t0)
+    np.divide(t0, safe, out=t0)
+    # Central average fallback for the degenerate (zero-span) faces.
+    np.add(F_l, F_r, out=t1)
+    np.multiply(0.5, t1, out=t1)
+    np.copyto(out, t1)
+    np.copyto(out, t0, where=subsonic)
+    return out
 
 
 def hlle_flux(W_l: np.ndarray, W_r: np.ndarray, normal: int):
@@ -88,10 +120,16 @@ def hlle_flux(W_l: np.ndarray, W_r: np.ndarray, normal: int):
     E_l = total_energy(rho_l, W_l[RHOU], W_l[RHOV], W_l[RHOW], p_l, G_l, P_l)
     E_r = total_energy(rho_r, W_r[RHOU], W_r[RHOV], W_r[RHOW], p_r, G_r, P_r)
 
+    bounds = _hlle_wave_bounds(s_l, s_r)
     flux = np.empty_like(W_l)
+    scratch0 = np.empty_like(un_l)
+    scratch1 = np.empty_like(un_l)
 
-    # Mass.
-    flux[RHO] = _hlle_combine(s_l, s_r, rho_l * un_l, rho_r * un_r, rho_l, rho_r)
+    # Mass.  Every element of ``flux`` is filled through the ``out=``
+    # views of the combine calls below, so the np.empty read here is a
+    # write target, not a use of uninitialized data.
+    _hlle_combine(bounds, rho_l * un_l, rho_r * un_r, rho_l, rho_r,
+                  out=flux[RHO, ...], t0=scratch0, t1=scratch1)  # lint: disable=CL007
 
     # Momentum: normal component carries the pressure term.
     for comp in (RHOU, RHOV, RHOW):
@@ -102,27 +140,31 @@ def hlle_flux(W_l: np.ndarray, W_r: np.ndarray, normal: int):
         if comp == mom_n:
             F_l = F_l + p_l
             F_r = F_r + p_r
-        flux[comp] = _hlle_combine(
-            s_l, s_r, F_l, F_r, rho_l * u_l_c, rho_r * u_r_c
-        )
+        _hlle_combine(bounds, F_l, F_r, rho_l * u_l_c, rho_r * u_r_c,
+                      out=flux[comp, ...], t0=scratch0, t1=scratch1)
 
     # Energy.
-    flux[ENERGY] = _hlle_combine(
-        s_l, s_r, (E_l + p_l) * un_l, (E_r + p_r) * un_r, E_l, E_r
-    )
+    _hlle_combine(bounds, (E_l + p_l) * un_l, (E_r + p_r) * un_r, E_l, E_r,
+                  out=flux[ENERGY, ...], t0=scratch0, t1=scratch1)
 
     # Advected quantities: conservative part phi * u.
-    flux[GAMMA] = _hlle_combine(s_l, s_r, G_l * un_l, G_r * un_r, G_l, G_r)
-    flux[PI] = _hlle_combine(s_l, s_r, P_l * un_l, P_r * un_r, P_l, P_r)
+    _hlle_combine(bounds, G_l * un_l, G_r * un_r, G_l, G_r,
+                  out=flux[GAMMA, ...], t0=scratch0, t1=scratch1)
+    _hlle_combine(bounds, P_l * un_l, P_r * un_r, P_l, P_r,
+                  out=flux[PI, ...], t0=scratch0, t1=scratch1)
 
     # Interface velocity: HLL flux of U == 1 with F == u (U_r - U_l == 0).
     ones = np.ones_like(un_l)
-    ustar = _hlle_combine(s_l, s_r, un_l, un_r, ones, ones)
+    ustar = np.empty_like(un_l)
+    _hlle_combine(bounds, un_l, un_r, ones, ones,
+                  out=ustar, t0=scratch0, t1=scratch1)
 
     return flux, ustar
 
 
-def hllc_flux(W_l: np.ndarray, W_r: np.ndarray, normal: int):
+# Expression-form on purpose: HLLC is the numpy-only contact-resolution
+# reference, read against Toro's formulas; HLLE is the production solver.
+def hllc_flux(W_l: np.ndarray, W_r: np.ndarray, normal: int):  # lint: disable=CP003
     """HLLC flux: HLLE plus a restored contact wave (Toro).
 
     Same contract as :func:`hlle_flux`: returns ``(flux, ustar)`` with

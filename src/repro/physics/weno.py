@@ -69,7 +69,107 @@ def _weno5_minus_raw(a, b, c, d, e, out=None):
     return res
 
 
-def weno5(v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def _weno5_minus_ws(a, b, c, d, e, ws, out):
+    """Left-biased reconstruction into ``out`` using workspace buffers.
+
+    Issues the *exact* evaluation tree of :func:`_weno5_minus_raw` as
+    ``out=``-threaded ufunc calls, so the result is bit-identical to the
+    expression form while every temporary lives in the workspace.
+    """
+    t0, t1, t2, is0, is1, is2, acc, num, _ = ws
+
+    # is0 = 13/12 (a - 2b + c)^2 + 1/4 (a - 4b + 3c)^2
+    np.multiply(2.0, b, out=t0)
+    np.subtract(a, t0, out=t0)
+    np.add(t0, c, out=t0)
+    np.power(t0, 2, out=t0)
+    np.multiply(_C13, t0, out=t0)
+    np.multiply(4.0, b, out=t1)
+    np.subtract(a, t1, out=t1)
+    np.multiply(3.0, c, out=t2)
+    np.add(t1, t2, out=t1)
+    np.power(t1, 2, out=t1)
+    np.multiply(0.25, t1, out=t1)
+    np.add(t0, t1, out=is0)
+
+    # is1 = 13/12 (b - 2c + d)^2 + 1/4 (b - d)^2
+    np.multiply(2.0, c, out=t0)
+    np.subtract(b, t0, out=t0)
+    np.add(t0, d, out=t0)
+    np.power(t0, 2, out=t0)
+    np.multiply(_C13, t0, out=t0)
+    np.subtract(b, d, out=t1)
+    np.power(t1, 2, out=t1)
+    np.multiply(0.25, t1, out=t1)
+    np.add(t0, t1, out=is1)
+
+    # is2 = 13/12 (c - 2d + e)^2 + 1/4 (3c - 4d + e)^2
+    np.multiply(2.0, d, out=t0)
+    np.subtract(c, t0, out=t0)
+    np.add(t0, e, out=t0)
+    np.power(t0, 2, out=t0)
+    np.multiply(_C13, t0, out=t0)
+    np.multiply(3.0, c, out=t1)
+    np.multiply(4.0, d, out=t2)
+    np.subtract(t1, t2, out=t1)
+    np.add(t1, e, out=t1)
+    np.power(t1, 2, out=t1)
+    np.multiply(0.25, t1, out=t1)
+    np.add(t0, t1, out=is2)
+
+    # alpha_k = d_k / (eps + is_k)^2, stored back into is0..is2
+    np.add(WENO_EPS, is0, out=is0)
+    np.power(is0, 2, out=is0)
+    np.divide(_D0, is0, out=is0)
+    np.add(WENO_EPS, is1, out=is1)
+    np.power(is1, 2, out=is1)
+    np.divide(_D1, is1, out=is1)
+    np.add(WENO_EPS, is2, out=is2)
+    np.power(is2, 2, out=is2)
+    np.divide(_D2, is2, out=is2)
+
+    # inv_sum = 1 / (alpha0 + alpha1 + alpha2), in t0
+    np.add(is0, is1, out=t0)
+    np.add(t0, is2, out=t0)
+    np.divide(1.0, t0, out=t0)
+
+    # candidate polynomials p0, p1, p2 in t1, t2, acc
+    np.multiply(2.0, a, out=t1)
+    np.multiply(7.0, b, out=t2)
+    np.subtract(t1, t2, out=t1)
+    np.multiply(11.0, c, out=t2)
+    np.add(t1, t2, out=t1)
+    np.multiply(t1, 1.0 / 6.0, out=t1)
+
+    np.negative(b, out=t2)
+    np.multiply(5.0, c, out=num)
+    np.add(t2, num, out=t2)
+    np.multiply(2.0, d, out=num)
+    np.add(t2, num, out=t2)
+    np.multiply(t2, 1.0 / 6.0, out=t2)
+
+    np.multiply(2.0, c, out=acc)
+    np.multiply(5.0, d, out=num)
+    np.add(acc, num, out=acc)
+    np.subtract(acc, e, out=acc)
+    np.multiply(acc, 1.0 / 6.0, out=acc)
+
+    # res = (alpha0 p0 + alpha1 p1 + alpha2 p2) * inv_sum
+    np.multiply(is0, t1, out=t1)
+    np.multiply(is1, t2, out=t2)
+    np.add(t1, t2, out=t1)
+    np.multiply(is2, acc, out=acc)
+    np.add(t1, acc, out=t1)
+    np.multiply(t1, t0, out=out)
+    return out
+
+
+def weno5(
+    v: np.ndarray,
+    workspace: "Weno5Workspace | None" = None,
+    out_minus: np.ndarray | None = None,
+    out_plus: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
     """Reconstruct both face states along the last axis.
 
     Parameters
@@ -77,6 +177,11 @@ def weno5(v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     v:
         Array whose last axis holds ``M >= 6`` cell averages (including
         ghosts).
+    workspace, out_minus, out_plus:
+        Optional preallocated :class:`Weno5Workspace` and output arrays
+        (shape ``v.shape[:-1] + (M - 5,)``).  Callers on the hot path
+        hold these per slice shape; passing them eliminates all per-call
+        allocations.  Results are bit-identical either way.
 
     Returns
     -------
@@ -87,11 +192,25 @@ def weno5(v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """
     if v.shape[-1] < 6:
         raise ValueError(f"need at least 6 cells along last axis, got {v.shape[-1]}")
-    a, b, c, d, e, f = (v[..., i : v.shape[-1] - 5 + i] for i in range(6))
-    minus = _weno5_minus_raw(a, b, c, d, e)
+    nfaces = v.shape[-1] - 5
+    out_shape = v.shape[:-1] + (nfaces,)
+    if workspace is None or workspace.shape != out_shape:
+        workspace = Weno5Workspace(out_shape, dtype=v.dtype)
+    if out_minus is None:
+        out_minus = np.empty(out_shape, dtype=v.dtype)
+    if out_plus is None:
+        out_plus = np.empty(out_shape, dtype=v.dtype)
+    a = v[..., 0:nfaces]
+    b = v[..., 1 : 1 + nfaces]
+    c = v[..., 2 : 2 + nfaces]
+    d = v[..., 3 : 3 + nfaces]
+    e = v[..., 4 : 4 + nfaces]
+    f = v[..., 5 : 5 + nfaces]
+    ws = workspace.buffers()
+    _weno5_minus_ws(a, b, c, d, e, ws, out_minus)
     # The right-biased stencil is the mirror image of the left-biased one.
-    plus = _weno5_minus_raw(f, e, d, c, b)
-    return minus, plus
+    _weno5_minus_ws(f, e, d, c, b, ws, out_plus)
+    return out_minus, out_plus
 
 
 class Weno5Workspace:
@@ -109,13 +228,14 @@ class Weno5Workspace:
         # Nine scratch arrays cover the in-flight temporaries of the fused
         # evaluation (3 smoothness indicators, 3 alphas reused as weights,
         # 2 accumulators, 1 general-purpose buffer).
-        self._bufs = [np.empty(shape, dtype=dtype) for _ in range(9)]
+        self._bufs = tuple(np.empty(shape, dtype=dtype) for _ in range(9))
 
-    def buffers(self) -> list[np.ndarray]:
+    def buffers(self) -> tuple[np.ndarray, ...]:
+        """The nine scratch buffers, in unpack order."""
         return self._bufs
 
 
-def _weno5_minus_fused(a, b, c, d, e, ws: list[np.ndarray], out: np.ndarray):
+def _weno5_minus_fused(a, b, c, d, e, ws: tuple[np.ndarray, ...], out: np.ndarray):
     """Fused left-biased reconstruction writing into ``out``.
 
     Arithmetic identical to :func:`_weno5_minus_raw`, but every temporary
@@ -219,7 +339,12 @@ def weno5_fused(
         out_minus = np.empty(out_shape, dtype=v.dtype)
     if out_plus is None:
         out_plus = np.empty(out_shape, dtype=v.dtype)
-    a, b, c, d, e, f = (v[..., i : i + nfaces] for i in range(6))
+    a = v[..., 0:nfaces]
+    b = v[..., 1 : 1 + nfaces]
+    c = v[..., 2 : 2 + nfaces]
+    d = v[..., 3 : 3 + nfaces]
+    e = v[..., 4 : 4 + nfaces]
+    f = v[..., 5 : 5 + nfaces]
     ws = workspace.buffers()
     _weno5_minus_fused(a, b, c, d, e, ws, out_minus)
     _weno5_minus_fused(f, e, d, c, b, ws, out_plus)
@@ -250,7 +375,9 @@ def weno3(v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return minus, plus
 
 
-def _weno3_biased(a, b, c):
+# Expression-form on purpose: the ablation baseline is read against the
+# Jiang-Shu formulas, and WENO3 is never the production reconstruction.
+def _weno3_biased(a, b, c):  # lint: disable=CP003
     """WENO3 reconstruction of the right face of cell ``b`` from
     ``(a, b, c) = (v_{i-1}, v_i, v_{i+1})``."""
     is0 = (b - a) ** 2

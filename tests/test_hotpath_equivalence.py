@@ -1,0 +1,215 @@
+"""Bit-identity and dtype-contract tests of the workspace-threaded hot path.
+
+The perfcheck PR rewrote the production WENO5/HLLE kernels to thread
+``out=``/workspace buffers through the hot expression chains (rule CP003).
+These tests pin the refactor's two contracts:
+
+* **bit identity** -- the ``out=``-threaded evaluation issues the exact
+  ufunc tree of the original expression form, so results must be
+  *bitwise* equal (``np.array_equal``), not merely close;
+* **dtype preservation** -- float32 face states stay float32 end to end
+  (rules CP001/CP002: no silent promotion, no strong scalars).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.physics.eos import (
+    LIQUID,
+    conserved_to_primitive,
+    pressure,
+    primitive_to_conserved,
+    sound_speed,
+    total_energy,
+)
+from repro.physics.riemann import einfeldt_wave_speeds, hlle_flux
+from repro.physics.state import ENERGY, GAMMA, NQ, PI, RHO, RHOU, RHOV, RHOW
+from repro.physics.weno import (
+    Weno5Workspace,
+    _weno5_minus_raw,
+    weno5,
+    weno5_fused,
+)
+
+from .conftest import make_rng
+
+
+def _face_states(rng, shape=(4, 9), dtype=np.float64):
+    """A pair of physically admissible primitive face-state batches."""
+    W_l = np.empty((NQ,) + shape, dtype=dtype)
+    W_r = np.empty((NQ,) + shape, dtype=dtype)
+    for W in (W_l, W_r):
+        W[RHO] = rng.uniform(500.0, 1500.0, shape)
+        W[RHOU] = rng.uniform(-5.0, 5.0, shape)
+        W[RHOV] = rng.uniform(-5.0, 5.0, shape)
+        W[RHOW] = rng.uniform(-5.0, 5.0, shape)
+        W[ENERGY] = rng.uniform(10.0, 200.0, shape)
+        W[GAMMA] = LIQUID.G
+        W[PI] = LIQUID.P
+    return W_l, W_r
+
+
+def _ref_hlle_combine(s_l, s_r, F_l, F_r, U_l, U_r):
+    """Expression-form HLLE combination, the pre-refactor reference.
+
+    Mirrors ``_hlle_combine`` / ``_hlle_wave_bounds`` operation for
+    operation so the workspace path must match it bit for bit.
+    """
+    s_l_m = np.minimum(s_l, 0.0)
+    s_r_p = np.maximum(s_r, 0.0)
+    span = s_r_p - s_l_m
+    safe = np.where(span > 0.0, span, 1.0)
+    prod = s_l_m * s_r_p
+    hll = (s_r_p * F_l - s_l_m * F_r + prod * (U_r - U_l)) / safe
+    avg = 0.5 * (F_l + F_r)
+    return np.where(span > 0.0, hll, avg)
+
+
+def _ref_hlle_flux(W_l, W_r, normal):
+    """Expression-form HLLE flux, component by component."""
+    mom_n = RHOU + normal
+    rho_l, p_l, G_l, P_l = W_l[RHO], W_l[ENERGY], W_l[GAMMA], W_l[PI]
+    rho_r, p_r, G_r, P_r = W_r[RHO], W_r[ENERGY], W_r[GAMMA], W_r[PI]
+    un_l, un_r = W_l[mom_n], W_r[mom_n]
+    s_l, s_r = einfeldt_wave_speeds(
+        rho_l, un_l, p_l, G_l, P_l, rho_r, un_r, p_r, G_r, P_r
+    )
+    E_l = total_energy(rho_l, W_l[RHOU], W_l[RHOV], W_l[RHOW], p_l, G_l, P_l)
+    E_r = total_energy(rho_r, W_r[RHOU], W_r[RHOV], W_r[RHOW], p_r, G_r, P_r)
+
+    flux = np.empty_like(W_l)
+    flux[RHO] = _ref_hlle_combine(
+        s_l, s_r, rho_l * un_l, rho_r * un_r, rho_l, rho_r
+    )
+    for comp in (RHOU, RHOV, RHOW):
+        u_l_c, u_r_c = W_l[comp], W_r[comp]
+        F_l = rho_l * un_l * u_l_c
+        F_r = rho_r * un_r * u_r_c
+        if comp == mom_n:
+            F_l = F_l + p_l
+            F_r = F_r + p_r
+        flux[comp] = _ref_hlle_combine(
+            s_l, s_r, F_l, F_r, rho_l * u_l_c, rho_r * u_r_c
+        )
+    flux[ENERGY] = _ref_hlle_combine(
+        s_l, s_r, (E_l + p_l) * un_l, (E_r + p_r) * un_r, E_l, E_r
+    )
+    flux[GAMMA] = _ref_hlle_combine(s_l, s_r, G_l * un_l, G_r * un_r, G_l, G_r)
+    flux[PI] = _ref_hlle_combine(s_l, s_r, P_l * un_l, P_r * un_r, P_l, P_r)
+    ones = np.ones_like(un_l)
+    ustar = _ref_hlle_combine(s_l, s_r, un_l, un_r, ones, ones)
+    return flux, ustar
+
+
+class TestWeno5BitIdentity:
+    def test_matches_raw_expression_form(self):
+        v = make_rng().normal(size=(NQ, 7, 20)) * 5.0
+        nfaces = v.shape[-1] - 5
+        a, b, c, d, e, f = (
+            v[..., k : k + nfaces] for k in range(6)
+        )
+        minus, plus = weno5(v)
+        assert np.array_equal(minus, _weno5_minus_raw(a, b, c, d, e))
+        assert np.array_equal(plus, _weno5_minus_raw(f, e, d, c, b))
+
+    def test_workspace_and_out_arrays_are_bit_identical(self):
+        v = make_rng(7).normal(size=(NQ, 4, 4, 12)) * 3.0
+        base_minus, base_plus = weno5(v)
+        shape = v.shape[:-1] + (v.shape[-1] - 5,)
+        ws = Weno5Workspace(shape)
+        om = np.empty(shape)
+        op = np.empty(shape)
+        minus, plus = weno5(v, workspace=ws, out_minus=om, out_plus=op)
+        assert minus is om and plus is op
+        assert np.array_equal(minus, base_minus)
+        assert np.array_equal(plus, base_plus)
+
+    def test_workspace_reuse_does_not_contaminate(self):
+        # A dirty workspace (filled by a previous call on other data)
+        # must not change results: every buffer is write-before-read.
+        rng = make_rng(11)
+        shape = (NQ, 3, 14)
+        ws = Weno5Workspace(shape[:-1] + (shape[-1] - 5,))
+        v1 = rng.normal(size=shape) * 2.0
+        v2 = rng.normal(size=shape) * 40.0
+        weno5(v1, workspace=ws)  # dirty the buffers
+        minus, plus = weno5(v2, workspace=ws)
+        ref_minus, ref_plus = weno5(v2)
+        assert np.array_equal(minus, ref_minus)
+        assert np.array_equal(plus, ref_plus)
+
+    def test_fused_variant_same_workspace_contract(self):
+        v = make_rng(3).normal(size=(NQ, 5, 13))
+        shape = v.shape[:-1] + (v.shape[-1] - 5,)
+        ws = Weno5Workspace(shape)
+        weno5_fused(v + 1.0, workspace=ws)  # dirty the buffers
+        minus, plus = weno5_fused(v, workspace=ws)
+        ref_minus, ref_plus = weno5_fused(v)
+        assert np.array_equal(minus, ref_minus)
+        assert np.array_equal(plus, ref_plus)
+
+
+class TestHlleBitIdentity:
+    @pytest.mark.parametrize("normal", [0, 1, 2])
+    def test_matches_expression_reference(self, normal):
+        W_l, W_r = _face_states(make_rng(normal + 1))
+        flux, ustar = hlle_flux(W_l, W_r, normal)
+        ref_flux, ref_ustar = _ref_hlle_flux(W_l, W_r, normal)
+        assert np.array_equal(flux, ref_flux)
+        assert np.array_equal(ustar, ref_ustar)
+
+    def test_scalar_face_states(self):
+        # 1-d (NQ,) states exercise the 0-d ``flux[RHO, ...]`` out= views.
+        W_l, W_r = _face_states(make_rng(9), shape=())
+        flux, ustar = hlle_flux(W_l, W_r, 0)
+        ref_flux, ref_ustar = _ref_hlle_flux(W_l, W_r, 0)
+        assert flux.shape == (NQ,)
+        assert np.array_equal(flux, ref_flux)
+        assert float(ustar) == float(ref_ustar)
+
+    def test_supersonic_faces_upwind_bit_identically(self):
+        # Fully supersonic faces (s_l > 0) reduce HLLE to the upwind
+        # flux; the clipped-bounds path must still match the reference.
+        W_l, W_r = _face_states(make_rng(5), shape=(3,))
+        for W in (W_l, W_r):
+            W[RHOU] += 50.0  # far above the liquid sound speed
+        flux, ustar = hlle_flux(W_l, W_r, 0)
+        ref_flux, ref_ustar = _ref_hlle_flux(W_l, W_r, 0)
+        assert np.array_equal(flux, ref_flux)
+        assert np.array_equal(ustar, ref_ustar)
+
+
+class TestDtypeContracts:
+    """float32 in -> float32 out (rules CP001/CP002 at runtime)."""
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_hlle_flux_preserves_dtype(self, dtype):
+        W_l, W_r = _face_states(make_rng(2), dtype=dtype)
+        flux, ustar = hlle_flux(W_l, W_r, 1)
+        assert flux.dtype == dtype
+        assert ustar.dtype == dtype
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_weno5_preserves_dtype(self, dtype):
+        v = (make_rng(4).normal(size=(NQ, 3, 11)) * 2.0).astype(dtype)
+        for fn in (weno5, weno5_fused):
+            minus, plus = fn(v)
+            assert minus.dtype == dtype
+            assert plus.dtype == dtype
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_eos_chain_preserves_dtype(self, dtype):
+        W, _ = _face_states(make_rng(6), shape=(5, 5), dtype=dtype)
+        U = primitive_to_conserved(W)
+        assert U.dtype == dtype
+        assert conserved_to_primitive(U).dtype == dtype
+        p = pressure(U[RHO], U[RHOU], U[RHOV], U[RHOW], U[ENERGY],
+                     U[GAMMA], U[PI])
+        assert p.dtype == dtype
+        E = total_energy(W[RHO], W[RHOU], W[RHOV], W[RHOW], W[ENERGY],
+                         W[GAMMA], W[PI])
+        assert E.dtype == dtype
+        c = sound_speed(W[RHO], W[ENERGY], W[GAMMA], W[PI])
+        assert c.dtype == dtype
