@@ -22,7 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
-from _common import write_result
+from _common import write_json_result, write_result
 
 from repro.cluster.driver import Simulation
 from repro.core.kernels import rhs_kernel, sos_kernel
@@ -46,10 +46,14 @@ from repro.sim.cloud import Bubble
 from repro.sim.config import SimulationConfig
 from repro.sim.ic import cloud_collapse
 
+from repro.telemetry import trend
+
 TOTAL_CELLS = 13.2e12
 
-#: Schema identifier of the kernel microbench record.
-KERNEL_BENCH_SCHEMA = "repro.bench_kernels/v1"
+#: Schema identifier of the kernel microbench record: v2 = v1 plus the
+#: mandatory provenance block (host fingerprint, git sha, timestamp,
+#: python/numpy versions) defined by :mod:`repro.telemetry.trend`.
+KERNEL_BENCH_SCHEMA = trend.KERNEL_SCHEMA_V2
 
 #: Fixed seed of the microbench case (the paper's SC year).
 KERNEL_BENCH_SEED = 2013
@@ -159,7 +163,9 @@ def run_kernel_microbench(
 
     Each kernel runs once for warmup, then ``repeats`` timed calls; the
     record keeps the best wall time (least-noise convention).  Returns
-    the ``BENCH_kernels.json`` payload.
+    the ``BENCH_kernels.json`` payload, stamped with the schema-v2
+    provenance block so it can join the ``BENCH_history.jsonl``
+    trajectory and gate regressions (``python -m repro.telemetry trend``).
     """
     cases = _bench_callables(n, seed)
     unknown = [k for k in kernels if k not in cases]
@@ -186,7 +192,7 @@ def run_kernel_microbench(
             "wall_s": round(best, 6),
             "gcells_per_s": round(cells / best / 1e9, 6),
         }
-    return record
+    return trend.stamp(record)
 
 
 def render_kernel_bench(record: dict) -> str:
@@ -218,9 +224,12 @@ def test_kernel_microbench(benchmark):
         rounds=1, iterations=1,
     )
     assert set(record["kernels"]) == set(KERNEL_BENCH_CASES)
+    assert record["schema"] == KERNEL_BENCH_SCHEMA
+    assert "provenance" in record
     for row in record["kernels"].values():
         assert row["wall_s"] > 0 and row["gcells_per_s"] > 0
     write_result("kernel_microbench", render_kernel_bench(record))
+    write_json_result("kernel_microbench", record)
 
 
 def test_throughput_measured_python(benchmark):
@@ -256,6 +265,11 @@ if __name__ == "__main__":
         "--out", default=str(KERNEL_BENCH_OUT),
         help="record path (default: BENCH_kernels.json at the repo root)",
     )
+    ap.add_argument(
+        "--history", metavar="PATH", default=None,
+        help="also append the record to this BENCH_history.jsonl "
+             "trajectory (see repro.telemetry.trend)",
+    )
     cli = ap.parse_args()
     names = tuple(k.strip() for k in cli.kernels.split(",") if k.strip())
     if cli.smoke:
@@ -264,3 +278,5 @@ if __name__ == "__main__":
         rec = run_kernel_microbench(names)
     print(render_kernel_bench(rec))
     print(f"[written to {write_kernel_bench(rec, cli.out)}]")
+    if cli.history:
+        print(f"[appended to {trend.append_history(rec, cli.history)}]")

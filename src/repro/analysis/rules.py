@@ -1,4 +1,4 @@
-"""The ``cubism-lint`` rule catalogue (CL001..CL011).
+"""The ``cubism-lint`` rule catalogue (CL001..CL012).
 
 Each rule encodes one contract the paper's solver design depends on;
 the docstrings below are the normative description (also surfaced by
@@ -738,3 +738,48 @@ class UnsynchronizedSharedMutation(Rule):
                 f"{ast.unparse(base)!r}; hold a lock or justify with a "
                 "trailing '# lint: disable=CL011'",
             )
+
+
+@register_rule
+class NoBarePrintInLibrary(Rule):
+    """CL012: library code does not ``print()``; it logs structured events.
+
+    A production campaign multiplexes many runs onto shared processes,
+    and a bare ``print()`` from deep inside the solver layers is an
+    unattributed, unparsable stdout line the moment two runs interleave.
+    Library code routes run-time reporting through the logfmt logger of
+    :mod:`repro.telemetry.log` (``get_logger(...).info/warn/...``),
+    which stamps every line with a timestamp, level and component name.
+    Command-line front ends (files named ``cli.py`` or ``__main__.py``)
+    are the user-facing surface and keep ``print()``; anything else that
+    must write raw text (a table renderer handed an explicit stream,
+    say) justifies it with a trailing ``# lint: disable=CL012``.
+    """
+
+    rule_id = "CL012"
+    name = "bare-print-in-library"
+    description = (
+        "bare print() in library code; route it through "
+        "repro.telemetry.log (CLI modules cli.py/__main__.py exempt)"
+    )
+
+    #: File basenames that are CLI front ends (print is their job).
+    _CLI_BASENAMES = frozenset({"cli.py", "__main__.py"})
+
+    def check(self, source: SourceFile) -> Iterable[Violation]:
+        basename = source.path.replace("\\", "/").rsplit("/", 1)[-1]
+        if basename in self._CLI_BASENAMES:
+            return
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.violation(
+                    source,
+                    node,
+                    "bare print() in library code; use "
+                    "repro.telemetry.log.get_logger(...) (or justify "
+                    "with a trailing '# lint: disable=CL012')",
+                )

@@ -12,6 +12,9 @@ Three subcommands mirror the workflow of the paper's software:
 ``validate``
     Run the physics V&V suite against the committed golden baselines
     (forwards its flags to :mod:`repro.validation.cli`).
+``analyze-flight``
+    Cross-rank imbalance / straggler / critical-path report over a
+    flight recording written with ``run --flight-out``.
 
 Usage::
 
@@ -19,6 +22,8 @@ Usage::
     python -m repro.cli report
     python -m repro.cli compress field.npy --eps 1e-3
     python -m repro.cli validate --suite smoke --check
+    python -m repro.cli run --ranks 4 --flight-out flight.jsonl
+    python -m repro.cli analyze-flight flight.jsonl
 """
 
 from __future__ import annotations
@@ -83,6 +88,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_recoveries=args.max_recoveries,
         comm_timeout=args.comm_timeout,
         concurrency_check=args.concurrency_check,
+        flight_out=args.flight_out,
+        progress_interval=args.progress,
     )
     ic = cloud_collapse(bubbles, p_liquid=args.pressure,
                         smoothing=config.h)
@@ -111,6 +118,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"run: {len(result.records)} steps in "
           f"{result.wall_seconds:.2f} s wall, "
           f"{result.cells_per_second / 1e6:.3f} Mcells/s")
+    if args.flight_out:
+        print(f"flight recording written to {args.flight_out} "
+              "(analyze with: python -m repro.cli analyze-flight "
+              f"{args.flight_out})")
     if telemetry != "off":
         from .telemetry import format_run_scorecard, write_chrome_trace
 
@@ -217,6 +228,19 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze_flight(args: argparse.Namespace) -> int:
+    """Print the cross-rank analytics report of a flight recording."""
+    from .telemetry import analyze_flight, format_flight_report
+
+    try:
+        analysis = analyze_flight(args.flight)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_flight_report(analysis, max_step_rows=args.worst))
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     """Delegate to the validation CLI (single source of truth)."""
     from .validation.cli import main as validation_main
@@ -278,6 +302,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the runtime concurrency report as JSON")
     run.add_argument("--resilience-out", metavar="PATH", default=None,
                      help="write the resilience scorecard as JSON")
+    run.add_argument("--flight-out", metavar="PATH", default=None,
+                     help="write a step-level flight recording (JSONL, "
+                          "schema repro.flight/v1) of the run")
+    run.add_argument("--progress", type=int, default=0, metavar="N",
+                     help="emit a structured progress heartbeat every N "
+                          "steps (0 = silent)")
     run.set_defaults(func=_cmd_run)
 
     rep = sub.add_parser("report", help="print the performance models")
@@ -290,6 +320,15 @@ def build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--paper-thresholds", action="store_true",
                       help="raw thresholds (no strict L-inf guarantee)")
     comp.set_defaults(func=_cmd_compress)
+
+    fl = sub.add_parser(
+        "analyze-flight",
+        help="cross-rank imbalance report over a flight recording",
+    )
+    fl.add_argument("flight", help="flight JSONL written by run --flight-out")
+    fl.add_argument("--worst", type=int, default=12, metavar="N",
+                    help="per-step rows shown (worst N by imbalance)")
+    fl.set_defaults(func=_cmd_analyze_flight)
 
     val = sub.add_parser(
         "validate", add_help=False,

@@ -44,7 +44,7 @@ from ..core.timestepper import make_stepper
 from ..node.dispatcher import Dispatcher
 from ..node.grid import BlockGrid
 from ..node.solver import NodeSolver
-from ..physics.state import GAMMA, NQ, STORAGE_DTYPE
+from ..physics.state import ENERGY, GAMMA, NQ, RHO, STORAGE_DTYPE
 from ..sim.config import SimulationConfig
 from ..sim.diagnostics import (
     Diagnostics,
@@ -52,7 +52,15 @@ from ..sim.diagnostics import (
     rank_diagnostics,
     reduce_diagnostics,
 )
-from ..telemetry import MetricsSnapshot, PhaseTimers, SpanEvent, make_tracer
+from ..telemetry import (
+    FlightRecorder,
+    MetricsSnapshot,
+    PhaseTimers,
+    ProgressReporter,
+    SpanEvent,
+    make_tracer,
+    safe_rate,
+)
 from ..telemetry.clock import now
 from .halo import HaloExchange
 from .mpi_sim import SimComm, SimWorld, WorldError
@@ -120,14 +128,15 @@ class RunResult:
 
         Completed steps times global cells over run wall time -- the
         quantity the paper reports as Gcells/s (721 Gcells/s on 96
-        racks).  Available for every run, telemetry on or off.
+        racks).  Available for every run, telemetry on or off; runs with
+        a degenerate (zero/near-zero) wall clock report 0.0 -- never
+        inf/NaN -- and bump ``telemetry.DEGENERATE_COUNTS``.
         """
-        if self.wall_seconds <= 0.0:
-            return 0.0
         cells = 1
         for c in self.config.cells:
             cells *= c
-        return len(self.records) * cells / self.wall_seconds
+        return safe_rate(len(self.records) * cells, self.wall_seconds,
+                         "throughput_degenerate_wall")
 
     @property
     def wall_damage(self) -> np.ndarray | None:
@@ -258,129 +267,180 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
     ncells = int(np.prod(grid.cells))
     records: list[StepRecord] = []
     compression_stats: list[dict] = []
-    while step < config.max_steps and t < config.t_end:
-        # -- chaos hook: injected rank crashes / stragglers --------------
-        if injector is not None:
-            injector.at_step(comm.rank, step + 1)
 
-        # -- DT kernel: SOS reduction -> CFL time step -------------------
-        if sanitizer is not None:
-            sanitizer.set_context(f"step {step + 1} DT")
-        with timers.span("DT"):
-            sos = comm.allreduce(solver.max_sos(sanitizer=sanitizer),
-                                 op="max")
-            if not np.isfinite(sos):
-                raise RuntimeError(
-                    f"solution diverged at step {step}: non-finite "
-                    "characteristic velocity (check resolution/CFL)"
-                )
-            dt = config.cfl * h / sos
-            if t + dt > config.t_end:
-                dt = config.t_end - t
-        if tracer is not None:
-            tracer.count("allreduce_calls")
+    # -- flight recorder / live progress (opt-in observability) ----------
+    flight = None
+    flight_state: dict = {"timers": {}, "sanitizer": 0, "resilience": 0}
+    conservation0 = (0.0, 0.0)
+    if config.flight_out:
+        conservation0 = _conservation_sums(grid)
+        flight = FlightRecorder(
+            config.flight_out,
+            rank=comm.rank,
+            meta={
+                "ranks": comm.size,
+                "cells": list(config.cells),
+                "block_size": config.block_size,
+                "max_steps": config.max_steps,
+                "telemetry": config.telemetry,
+                "sanitize": config.sanitize,
+            },
+            flush_every=config.flight_flush_every,
+        )
+    progress = None
+    if config.progress_interval and comm.rank == 0:
+        progress = ProgressReporter(
+            total_steps=config.max_steps,
+            cells=int(np.prod(config.cells)),
+            interval=config.progress_interval,
+        )
 
-        # -- RK stages: RHS (overlapped halo exchange) + UP ---------------
-        for si, stage in enumerate(stepper.stages):
-            if sanitizer is not None:
-                sanitizer.set_context(f"step {step + 1} stage {si + 1}")
-            with timers.span("RHS"):
-                pending = halo.start()
-                rhs_map = solver.evaluate_rhs(interior, sanitizer=sanitizer)
-            with timers.span("COMM_WAIT"):
-                provider = halo.finish(pending)
-            with timers.span("RHS"):
-                rhs_map.update(
-                    solver.evaluate_rhs(halo_blocks, provider,
-                                        sanitizer=sanitizer)
-                )
-            with timers.span("UP"):
-                solver.update(rhs_map, stage.a, stage.b, dt,
-                              sanitizer=sanitizer)
-
-        t += dt
-        step += 1
-        if tracer is not None:
-            tracer.count("steps")
-            tracer.count("cell_steps", ncells)
-
-        # -- erosion accumulation on the wall layer ----------------------
-        if damage is not None:
-            with timers.span("EROSION"):
-                from ..sim.diagnostics import pressure_field
-                from .halo import extract_face_slab
-
-                layer = extract_face_slab(grid, wall[0], wall[1], width=1)
-                p_wall = pressure_field(np.squeeze(layer, axis=wall[0]))
-                damage.update(p_wall, dt)
-
-        # -- diagnostics ---------------------------------------------------
-        diag = None
-        if config.diag_interval and step % config.diag_interval == 0:
-            with timers.span("DIAG"):
-                local = rank_diagnostics(grid.to_array(), h, wall)
-                diag = reduce_diagnostics(comm, local)
-
-        # -- compressed data dumps (p and Gamma only, as in the paper) ----
-        if config.dump_interval and step % config.dump_interval == 0:
-            # Pre-flight the injected storage fault collectively so every
-            # rank takes the same branch: a failed dump degrades to a
-            # counted skip, never a diverged SPMD control flow.
-            io_bad = 1 if (injector is not None and
-                           injector.io_fails(comm.rank, "dump", step)) else 0
+    try:
+        while step < config.max_steps and t < config.t_end:
+            step_t0 = now() if flight is not None else 0.0
+            # -- chaos hook: injected rank crashes / stragglers --------------
             if injector is not None:
-                io_bad = comm.allreduce(io_bad, op="max")
-            if io_bad:
-                if comm.rank == 0:
-                    injector.detected("io_fail")
-                    injector.recovered("io_fail")
-                    injector.count("dumps_skipped")
-            else:
-                with timers.span("IO_WAVELET"):
-                    stats = _dump(comm, config, grid, origin_cells, step,
-                                  timers, tracer, sanitizer=sanitizer)
-                    compression_stats.extend(stats)
+                injector.at_step(comm.rank, step + 1)
 
-        # -- lossless checkpoints (atomic, rotated generations) ----------
-        if config.checkpoint_interval and step % config.checkpoint_interval == 0:
-            from ..resilience.detect import CheckpointWriteError
-            from .checkpoint import (
-                checkpoint_path,
-                prune_checkpoints,
-                write_checkpoint,
+            # -- DT kernel: SOS reduction -> CFL time step -------------------
+            if sanitizer is not None:
+                sanitizer.set_context(f"step {step + 1} DT")
+            with timers.span("DT"):
+                sos = comm.allreduce(solver.max_sos(sanitizer=sanitizer),
+                                     op="max")
+                if not np.isfinite(sos):
+                    raise RuntimeError(
+                        f"solution diverged at step {step}: non-finite "
+                        "characteristic velocity (check resolution/CFL)"
+                    )
+                dt = config.cfl * h / sos
+                if t + dt > config.t_end:
+                    dt = config.t_end - t
+            if tracer is not None:
+                tracer.count("allreduce_calls")
+
+            # -- RK stages: RHS (overlapped halo exchange) + UP ---------------
+            for si, stage in enumerate(stepper.stages):
+                if sanitizer is not None:
+                    sanitizer.set_context(f"step {step + 1} stage {si + 1}")
+                with timers.span("RHS"):
+                    pending = halo.start()
+                    rhs_map = solver.evaluate_rhs(interior, sanitizer=sanitizer)
+                with timers.span("COMM_WAIT"):
+                    provider = halo.finish(pending)
+                with timers.span("RHS"):
+                    rhs_map.update(
+                        solver.evaluate_rhs(halo_blocks, provider,
+                                            sanitizer=sanitizer)
+                    )
+                with timers.span("UP"):
+                    solver.update(rhs_map, stage.a, stage.b, dt,
+                                  sanitizer=sanitizer)
+
+            t += dt
+            step += 1
+            if tracer is not None:
+                tracer.count("steps")
+                tracer.count("cell_steps", ncells)
+
+            # -- erosion accumulation on the wall layer ----------------------
+            if damage is not None:
+                with timers.span("EROSION"):
+                    from ..sim.diagnostics import pressure_field
+                    from .halo import extract_face_slab
+
+                    layer = extract_face_slab(grid, wall[0], wall[1], width=1)
+                    p_wall = pressure_field(np.squeeze(layer, axis=wall[0]))
+                    damage.update(p_wall, dt)
+
+            # -- diagnostics ---------------------------------------------------
+            diag = None
+            if config.diag_interval and step % config.diag_interval == 0:
+                with timers.span("DIAG"):
+                    local = rank_diagnostics(grid.to_array(), h, wall)
+                    diag = reduce_diagnostics(comm, local)
+
+            # -- compressed data dumps (p and Gamma only, as in the paper) ----
+            if config.dump_interval and step % config.dump_interval == 0:
+                # Pre-flight the injected storage fault collectively so every
+                # rank takes the same branch: a failed dump degrades to a
+                # counted skip, never a diverged SPMD control flow.
+                io_bad = 1 if (injector is not None and
+                               injector.io_fails(comm.rank, "dump", step)) else 0
+                if injector is not None:
+                    io_bad = comm.allreduce(io_bad, op="max")
+                if io_bad:
+                    if comm.rank == 0:
+                        injector.detected("io_fail")
+                        injector.recovered("io_fail")
+                        injector.count("dumps_skipped")
+                else:
+                    with timers.span("IO_WAVELET"):
+                        stats = _dump(comm, config, grid, origin_cells, step,
+                                      timers, tracer, sanitizer=sanitizer)
+                        compression_stats.extend(stats)
+
+            # -- lossless checkpoints (atomic, rotated generations) ----------
+            if config.checkpoint_interval and step % config.checkpoint_interval == 0:
+                from ..resilience.detect import CheckpointWriteError
+                from .checkpoint import (
+                    checkpoint_path,
+                    prune_checkpoints,
+                    write_checkpoint,
+                )
+
+                with timers.span("CHECKPOINT"):
+                    ck_path = checkpoint_path(config.checkpoint_dir, step)
+                    try:
+                        write_checkpoint(
+                            comm, ck_path, grid.to_array(), origin_cells, t,
+                            step, injector=injector,
+                        )
+                    except CheckpointWriteError:
+                        # Degrade: previous generations are intact, the
+                        # campaign keeps computing (failure already counted
+                        # by the writer on rank 0).
+                        if comm.rank == 0 and injector is not None:
+                            injector.recovered("io_fail")
+                    else:
+                        if comm.rank == 0 and config.checkpoint_keep:
+                            pruned = prune_checkpoints(
+                                config.checkpoint_dir, config.checkpoint_keep
+                            )
+                            if injector is not None:
+                                injector.count("ckpt_generations_pruned",
+                                               len(pruned))
+                                injector.set_counter(
+                                    "ckpt_generations_kept",
+                                    min(config.checkpoint_keep,
+                                        step // config.checkpoint_interval),
+                                )
+
+            records.append(
+                StepRecord(step=step, time=t, dt=dt, diagnostics=diag,
+                           timers=dict(timers))
             )
 
-            with timers.span("CHECKPOINT"):
-                ck_path = checkpoint_path(config.checkpoint_dir, step)
-                try:
-                    write_checkpoint(
-                        comm, ck_path, grid.to_array(), origin_cells, t,
-                        step, injector=injector,
-                    )
-                except CheckpointWriteError:
-                    # Degrade: previous generations are intact, the
-                    # campaign keeps computing (failure already counted
-                    # by the writer on rank 0).
-                    if comm.rank == 0 and injector is not None:
-                        injector.recovered("io_fail")
-                else:
-                    if comm.rank == 0 and config.checkpoint_keep:
-                        pruned = prune_checkpoints(
-                            config.checkpoint_dir, config.checkpoint_keep
-                        )
-                        if injector is not None:
-                            injector.count("ckpt_generations_pruned",
-                                           len(pruned))
-                            injector.set_counter(
-                                "ckpt_generations_kept",
-                                min(config.checkpoint_keep,
-                                    step // config.checkpoint_interval),
-                            )
+            # -- step-level observability ----------------------------
+            if flight is not None:
+                _flight_step(
+                    flight, step, t, dt, now() - step_t0, dict(timers),
+                    flight_state, grid, ncells, conservation0,
+                    sanitizer, injector, solver.last_schedule,
+                )
+            if progress is not None:
+                sched = solver.last_schedule
+                progress.step(
+                    step, sim_time=t, dt=dt,
+                    imbalance=(sched.imbalance if sched is not None
+                               else None),
+                )
 
-        records.append(
-            StepRecord(step=step, time=t, dt=dt, diagnostics=diag,
-                       timers=dict(timers))
-        )
+    finally:
+        # Chaos runs crash ranks mid-loop; the recorder handle must
+        # release (flushing the shared sink on last close) regardless.
+        if flight is not None:
+            flight.close()
 
     wall_seconds = now() - wall_t0
     return RankResult(
@@ -465,6 +525,69 @@ def _dump(
             }
         )
     return out
+
+
+def _conservation_sums(grid: BlockGrid) -> tuple[float, float]:
+    """Rank-local (mass, energy) sums of the grid (tuple of floats).
+
+    Summed block-wise -- never through ``grid.to_array()``, whose full
+    assembly would blow the flight recorder's < 5 % overhead budget.
+    """
+    mass = 0.0
+    energy = 0.0
+    for block in grid.blocks.values():
+        mass += float(block.data[..., RHO].sum())
+        energy += float(block.data[..., ENERGY].sum())
+    return mass, energy
+
+
+def _flight_step(flight, step, t, dt, step_wall, cum_timers, state, grid,
+                 ncells, conservation0, sanitizer, injector,
+                 schedule) -> None:
+    """Append one ``(step, rank)`` record to the flight stream.
+
+    The driver accumulates phase timers and event tallies cumulatively;
+    this converts them into per-step deltas (previous totals tracked in
+    ``state``) so every record is self-contained: per-phase wall times,
+    instantaneous throughput, sanitizer/resilience event counts,
+    conservation drift vs the initial state and the node-level schedule
+    summary.
+    """
+    phases = {}
+    prev = state["timers"]
+    for name, total in cum_timers.items():
+        delta = total - prev.get(name, 0.0)
+        if delta > 0.0:
+            phases[name] = delta
+    state["timers"] = cum_timers
+
+    fields: dict = {
+        "t": t,
+        "dt": dt,
+        "wall": step_wall,
+        "phases": phases,
+        "gcells_per_s": safe_rate(
+            ncells, step_wall, "flight_degenerate_step_wall") / 1e9,
+    }
+    mass0, energy0 = conservation0
+    mass, energy = _conservation_sums(grid)
+    fields["drift"] = {
+        "mass": safe_rate(mass - mass0, abs(mass0),
+                          "flight_degenerate_drift"),
+        "energy": safe_rate(energy - energy0, abs(energy0),
+                            "flight_degenerate_drift"),
+    }
+    if sanitizer is not None:
+        seen = len(sanitizer.report)
+        fields["sanitizer_events"] = seen - state["sanitizer"]
+        state["sanitizer"] = seen
+    if injector is not None:
+        seen = int(sum(injector.counters.values()))
+        fields["resilience_events"] = seen - state["resilience"]
+        state["resilience"] = seen
+    if schedule is not None:
+        fields["schedule"] = schedule.to_dict()
+    flight.record(step, **fields)
 
 
 class Simulation:

@@ -58,6 +58,20 @@ class ScheduleStats:
         denom = self.busy.size * self.makespan
         return float(self.busy.sum() / denom) if denom > 0 else 1.0
 
+    def to_dict(self) -> dict:
+        """JSON-compatible summary of the round (dict of floats/ints).
+
+        The shape the flight recorder embeds per step: worker count,
+        makespan, the paper's imbalance metric and the efficiency.
+        """
+        return {
+            "workers": int(self.busy.size),
+            "items": int(self.item_durations.size),
+            "makespan": float(self.makespan),
+            "imbalance": self.imbalance,
+            "efficiency": self.efficiency,
+        }
+
 
 def simulate_dynamic_schedule(durations, num_workers: int) -> ScheduleStats:
     """Simulate an OpenMP dynamic-for over items with known ``durations``.

@@ -49,6 +49,15 @@ class SimulationConfig:
     #: "raise" (abort the offending rank on the first race).  See
     #: :mod:`repro.analysis.concurrency`.
     concurrency_check: str = "off"
+    #: step-level flight recorder output path (JSONL, schema
+    #: ``repro.flight/v1``; see :mod:`repro.telemetry.flight`), or None
+    #: (off, the production default; the step loop carries no recorder).
+    flight_out: str | None = None
+    #: flight records buffered between flushes of the shared sink
+    flight_flush_every: int = 32
+    #: steps between live progress heartbeats emitted by rank 0 through
+    #: :class:`repro.telemetry.ProgressReporter` (0 = silent, default)
+    progress_interval: int = 0
 
     # -- parallelization ---------------------------------------------------
     ranks: int = 1  #: simulated MPI ranks
@@ -127,6 +136,10 @@ class SimulationConfig:
             )
         if self.telemetry_max_events < 0:
             raise ValueError("telemetry_max_events must be >= 0")
+        if self.flight_flush_every < 1:
+            raise ValueError("flight_flush_every must be >= 1")
+        if self.progress_interval < 0:
+            raise ValueError("progress_interval must be >= 0")
         from ..analysis.concurrency import POLICIES as CONCURRENCY_POLICIES
 
         if self.concurrency_check not in CONCURRENCY_POLICIES:

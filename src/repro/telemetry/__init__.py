@@ -11,10 +11,28 @@ The observability backbone of the reproduction (see ``docs/telemetry.md``):
 * :func:`write_chrome_trace` -- Perfetto-loadable per-rank timelines;
 * :func:`format_run_scorecard` -- the paper-style run table
   (time-in-phase %, Gcells/s, modeled FLOP/s, I/O fraction);
+* :class:`FlightRecorder` / :func:`read_flight` -- the step-level
+  flight recorder (JSONL, schema ``repro.flight/v1``);
+* :mod:`repro.telemetry.analytics` -- cross-rank imbalance, straggler
+  and critical-path analytics over flight recordings and run results;
+* :class:`StructuredLogger` / :class:`ProgressReporter` -- logfmt
+  structured logging (lint rule ``CL012``'s sanctioned sink) and the
+  live run heartbeat;
+* :mod:`repro.telemetry.trend` -- provenance-stamped kernel benchmark
+  records and the ``python -m repro.telemetry trend --check`` gate;
 * :mod:`repro.telemetry.clock` -- the sanctioned timing source enforced
   by lint rule ``CL009``.
 """
 
+from .analytics import (
+    FlightAnalysis,
+    analyze_flight,
+    critical_path,
+    format_flight_report,
+    run_imbalance,
+    step_imbalance,
+    straggler_summary,
+)
 from .clock import now, wall_now
 from .export import (
     chrome_trace_events,
@@ -22,11 +40,25 @@ from .export import (
     run_trace_events,
     write_chrome_trace,
 )
+from .flight import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    iter_flight,
+    read_flight,
+)
+from .log import (
+    ProgressReporter,
+    StructuredLogger,
+    configure,
+    get_logger,
+)
 from .scorecard import (
+    DEGENERATE_COUNTS,
     PAPER_IO_FRACTION,
     format_run_scorecard,
     io_fraction,
     run_scorecard_rows,
+    safe_rate,
 )
 from .tracer import (
     DEFAULT_MAX_EVENTS,
@@ -40,20 +72,37 @@ from .tracer import (
 
 __all__ = [
     "DEFAULT_MAX_EVENTS",
+    "DEGENERATE_COUNTS",
+    "FLIGHT_SCHEMA",
+    "FlightAnalysis",
+    "FlightRecorder",
     "MODES",
     "MetricsSnapshot",
     "PAPER_IO_FRACTION",
     "PhaseTimers",
+    "ProgressReporter",
     "SpanEvent",
+    "StructuredLogger",
     "Tracer",
+    "analyze_flight",
     "chrome_trace_events",
+    "configure",
+    "critical_path",
+    "format_flight_report",
     "format_run_scorecard",
+    "get_logger",
     "io_fraction",
+    "iter_flight",
     "make_tracer",
     "metrics_json",
     "now",
+    "read_flight",
+    "run_imbalance",
     "run_scorecard_rows",
     "run_trace_events",
+    "safe_rate",
+    "step_imbalance",
+    "straggler_summary",
     "wall_now",
     "write_chrome_trace",
 ]

@@ -1,0 +1,248 @@
+"""Cross-rank imbalance analytics over flight recordings and run results.
+
+The paper quantifies load imbalance two ways: Table 4's work-imbalance
+metric ``(t_max - t_min) / t_avg`` across workers, and the observation
+that under clustered bubble clouds (and in Rasthofer et al.'s
+12'500-bubble follow-up) a handful of straggler ranks bound every step.
+This module computes both over the step-resolved records of the
+:mod:`repro.telemetry.flight` recorder (and, in aggregate form, over the
+per-rank ``RankResult`` timers of any completed run):
+
+* :func:`step_imbalance` -- per-step load-imbalance factor (max/mean
+  step time across ranks) plus the paper's Table 4 spread metric;
+* :func:`straggler_summary` -- per-rank attribution: how often each
+  rank bounded a step, and the phase it was slowest in;
+* :func:`critical_path` -- which (rank, phase) pairs bound the run,
+  with the seconds they put on the critical path;
+* :func:`run_imbalance` -- the same factors over a ``RunResult``'s
+  per-rank cumulative phase timers (no flight file needed), surfaced as
+  scorecard rows;
+* :func:`analyze_flight` / :func:`format_flight_report` -- the
+  ``repro.cli analyze-flight`` report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .scorecard import safe_rate
+
+
+def _step_seconds(record: dict) -> float:
+    """Total measured phase seconds of one step record (float)."""
+    return float(sum(record.get("phases", {}).values()))
+
+
+def _by_step(steps: list[dict]) -> dict[int, list[dict]]:
+    """Group step records by step number (dict step -> rank records)."""
+    out: dict[int, list[dict]] = {}
+    for rec in steps:
+        out.setdefault(int(rec["step"]), []).append(rec)
+    return out
+
+
+def step_imbalance(steps: list[dict]) -> list[dict]:
+    """Per-step cross-rank imbalance rows from flight step records.
+
+    Returns one dict per step: ``step``, ``ranks``, per-step wall
+    statistics (``t_max`` / ``t_mean``), the load-imbalance factor
+    ``lif`` (max/mean, 1.0 = perfectly balanced), the paper's Table 4
+    spread ``(t_max - t_min) / t_mean``, and the bounding rank/phase
+    (``critical_rank``, ``critical_phase``).  Degenerate steps (zero
+    measured time) report factor 0.0 instead of inf/NaN.
+    """
+    rows: list[dict] = []
+    for step, recs in sorted(_by_step(steps).items()):
+        totals = [( _step_seconds(r), int(r["rank"]), r) for r in recs]
+        times = [t for t, _, _ in totals]
+        mean = sum(times) / len(times)
+        t_max, crit_rank, crit_rec = max(totals, key=lambda x: x[0])
+        phases = crit_rec.get("phases", {})
+        crit_phase = max(phases, key=phases.get) if phases else ""
+        rows.append({
+            "step": step,
+            "ranks": len(recs),
+            "t_max": t_max,
+            "t_mean": mean,
+            "lif": safe_rate(t_max, mean, "imbalance_degenerate_step"),
+            "imbalance": safe_rate(t_max - min(times), mean,
+                                   "imbalance_degenerate_step"),
+            "critical_rank": crit_rank,
+            "critical_phase": crit_phase,
+        })
+    return rows
+
+
+def straggler_summary(steps: list[dict]) -> list[dict]:
+    """Per-rank straggler attribution over a flight recording.
+
+    Returns one dict per rank, sorted by how often the rank bounded a
+    step: ``rank``, ``steps_critical``, ``critical_share`` (fraction of
+    steps it bounded), ``seconds`` (its total measured phase time) and
+    ``worst_phase`` (the phase it spent the most time in while
+    critical).
+    """
+    per_step = step_imbalance(steps)
+    bounded: dict[int, int] = {}
+    phase_when_critical: dict[int, dict[str, float]] = {}
+    for row in per_step:
+        r = row["critical_rank"]
+        bounded[r] = bounded.get(r, 0) + 1
+        if row["critical_phase"]:
+            acc = phase_when_critical.setdefault(r, {})
+            acc[row["critical_phase"]] = acc.get(row["critical_phase"], 0) + 1
+    totals: dict[int, float] = {}
+    for rec in steps:
+        r = int(rec["rank"])
+        totals[r] = totals.get(r, 0.0) + _step_seconds(rec)
+    nsteps = max(len(per_step), 1)
+    rows = []
+    for rank in sorted(totals):
+        phases = phase_when_critical.get(rank, {})
+        rows.append({
+            "rank": rank,
+            "steps_critical": bounded.get(rank, 0),
+            "critical_share": bounded.get(rank, 0) / nsteps,
+            "seconds": totals[rank],
+            "worst_phase": max(phases, key=phases.get) if phases else "",
+        })
+    rows.sort(key=lambda r: (-r["steps_critical"], r["rank"]))
+    return rows
+
+
+def critical_path(steps: list[dict]) -> list[dict]:
+    """Critical-path decomposition: which (rank, phase) bounds the run.
+
+    For every step, the bounding rank's slowest phase is charged with
+    that step's maximum time.  Returns rows sorted by charged seconds:
+    ``rank``, ``phase``, ``steps`` (how many steps that pair bounded)
+    and ``seconds`` on the critical path.
+    """
+    charged: dict[tuple[int, str], dict] = {}
+    for row in step_imbalance(steps):
+        key = (row["critical_rank"], row["critical_phase"])
+        slot = charged.setdefault(
+            key, {"rank": key[0], "phase": key[1], "steps": 0, "seconds": 0.0}
+        )
+        slot["steps"] += 1
+        slot["seconds"] += row["t_max"]
+    return sorted(charged.values(), key=lambda r: -r["seconds"])
+
+
+def run_imbalance(result) -> list[dict]:
+    """Cross-rank imbalance rows of a completed run (no flight file).
+
+    Computed from each ``RankResult``'s cumulative phase timers: one row
+    per phase (plus a ``TOTAL`` row) with ``max`` / ``mean`` seconds
+    across ranks, the load-imbalance factor ``lif`` (max/mean), the
+    Table 4 spread and the slowest rank.  Returns ``[]`` for
+    single-rank runs, where cross-rank imbalance is undefined.
+    """
+    ranks = getattr(result, "rank_results", None) or []
+    if len(ranks) < 2:
+        return []
+    phases: set[str] = set()
+    for rr in ranks:
+        phases.update(rr.timers)
+    rows = []
+    totals = [sum(rr.timers.values()) for rr in ranks]
+    for name in sorted(phases) + ["TOTAL"]:
+        if name == "TOTAL":
+            times = totals
+        else:
+            times = [rr.timers.get(name, 0.0) for rr in ranks]
+        mean = sum(times) / len(times)
+        t_max = max(times)
+        rows.append({
+            "phase": name,
+            "max [s]": t_max,
+            "mean [s]": mean,
+            "lif": safe_rate(t_max, mean, "imbalance_degenerate_phase"),
+            "imbalance": safe_rate(t_max - min(times), mean,
+                                   "imbalance_degenerate_phase"),
+            "slowest rank": ranks[times.index(t_max)].rank,
+        })
+    return rows
+
+
+@dataclass
+class FlightAnalysis:
+    """Assembled analytics of one flight recording."""
+
+    header: dict
+    nsteps: int
+    ranks: int
+    steps: list[dict] = field(default_factory=list)  #: per-step rows
+    stragglers: list[dict] = field(default_factory=list)
+    critical: list[dict] = field(default_factory=list)
+
+    @property
+    def mean_lif(self) -> float:
+        """Mean per-step load-imbalance factor (1.0 = balanced)."""
+        if not self.steps:
+            return 0.0
+        return sum(r["lif"] for r in self.steps) / len(self.steps)
+
+    @property
+    def max_lif(self) -> float:
+        """Worst per-step load-imbalance factor of the run."""
+        return max((r["lif"] for r in self.steps), default=0.0)
+
+
+def analyze_flight(path: str) -> FlightAnalysis:
+    """Run the cross-rank analytics over a flight file.
+
+    Returns the assembled :class:`FlightAnalysis`; raises
+    :class:`ValueError` for files without a flight header.
+    """
+    from .flight import read_flight
+
+    header, steps = read_flight(path)
+    per_step = step_imbalance(steps)
+    return FlightAnalysis(
+        header=header,
+        nsteps=len(per_step),
+        ranks=len({int(r["rank"]) for r in steps}) if steps else 0,
+        steps=per_step,
+        stragglers=straggler_summary(steps),
+        critical=critical_path(steps),
+    )
+
+
+def format_flight_report(analysis: FlightAnalysis,
+                         max_step_rows: int = 12) -> str:
+    """Human-readable imbalance/critical-path report (returns the str).
+
+    Shows the worst ``max_step_rows`` steps by load-imbalance factor,
+    the straggler attribution table and the critical-path summary --
+    the shape of the paper's Table 4 discussion for *our* runs.
+    """
+    from ..perf.report import format_table
+
+    parts = [
+        f"Flight analysis: {analysis.nsteps} steps x {analysis.ranks} "
+        f"ranks (schema {analysis.header.get('schema')})",
+        f"load-imbalance factor (max/mean step time): "
+        f"mean {analysis.mean_lif:.3f}, worst {analysis.max_lif:.3f}",
+    ]
+    worst = sorted(analysis.steps, key=lambda r: -r["lif"])[:max_step_rows]
+    if worst:
+        parts.append("")
+        parts.append(format_table(
+            sorted(worst, key=lambda r: r["step"]),
+            f"Worst {len(worst)} steps by imbalance",
+            floatfmt="{:.4g}",
+        ))
+    if analysis.stragglers:
+        parts.append("")
+        parts.append(format_table(
+            analysis.stragglers, "Straggler attribution (per rank)",
+            floatfmt="{:.4g}",
+        ))
+    if analysis.critical:
+        parts.append("")
+        parts.append(format_table(
+            analysis.critical, "Critical path (rank/phase that bounds steps)",
+            floatfmt="{:.4g}",
+        ))
+    return "\n".join(parts)

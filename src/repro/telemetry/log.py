@@ -1,0 +1,253 @@
+"""Structured run logging and the live progress heartbeat.
+
+Library code (everything under ``src/repro`` except the CLI front ends)
+must not ``print()``: a production campaign server multiplexes many runs
+onto one process, and unattributed stdout lines are useless the moment
+two runs interleave.  Lint rule **CL012** enforces this; the sanctioned
+sink is the :class:`StructuredLogger` defined here, which emits one
+logfmt line (``key=value`` pairs) per event so the stream stays
+machine-parsable *and* readable when tailed during a long run::
+
+    from repro.telemetry.log import get_logger
+
+    log = get_logger("cluster.driver")
+    log.info("progress", step=120, pct=40.0, eta_s=93.2)
+    # -> ts=1754650000.123 level=info logger=cluster.driver event=progress
+    #    step=120 pct=40.0 eta_s=93.2
+
+:class:`ProgressReporter` builds the run heartbeat on top of it: every
+``interval`` steps, rank 0 emits ``step``, percent done, an ETA from a
+rolling window of recent step times, the rolling throughput in Gcells/s
+and the node-level work-imbalance factor -- the live signal the paper's
+multi-day production runs were babysat with.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from collections import deque
+from typing import IO, Mapping
+
+from .clock import now, wall_now
+
+#: Severity order of the accepted levels.
+LEVELS = ("debug", "info", "warn", "error")
+
+
+def _format_value(v) -> str:
+    """Returns one logfmt-safe token for a field value (str)."""
+    if isinstance(v, float):
+        s = f"{v:.6g}"
+    elif isinstance(v, bool):
+        s = "true" if v else "false"
+    elif v is None:
+        s = "null"
+    else:
+        s = str(v)
+    if " " in s or "=" in s or '"' in s:
+        s = json.dumps(s)
+    return s
+
+
+class StructuredLogger:
+    """Logfmt event logger for one named component.
+
+    Parameters
+    ----------
+    name:
+        Component name stamped on every line (``logger=<name>``).
+    stream:
+        Output stream; ``None`` (default) resolves ``sys.stderr`` at
+        emit time so test harnesses that swap stderr keep working.
+    level:
+        Minimum severity emitted (one of :data:`LEVELS`).
+
+    Emission is serialized by a lock: rank threads of the simulated
+    cluster share the process and must not interleave half-lines.
+    """
+
+    def __init__(self, name: str, stream: IO[str] | None = None,
+                 level: str = "info"):
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}; "
+                             f"choose from {LEVELS}")
+        self.name = str(name)
+        self.stream = stream
+        self.level = level
+        self._lock = threading.Lock()
+        self.emitted = 0  #: lines written (suppressed levels excluded)
+
+    # -- core -----------------------------------------------------------
+
+    def enabled(self, level: str) -> bool:
+        """Returns whether ``level`` clears the logger threshold."""
+        return LEVELS.index(level) >= LEVELS.index(self.level)
+
+    def event(self, event: str, level: str = "info", **fields) -> str | None:
+        """Emit one structured event line; returns it (or ``None``).
+
+        ``fields`` become ``key=value`` tokens after the standard
+        ``ts``/``level``/``logger``/``event`` prefix.  Suppressed levels
+        return ``None`` without touching the stream.
+        """
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}; "
+                             f"choose from {LEVELS}")
+        if not self.enabled(level):
+            return None
+        parts = [
+            f"ts={wall_now():.3f}",
+            f"level={level}",
+            f"logger={self.name}",
+            f"event={_format_value(event)}",
+        ]
+        parts.extend(f"{k}={_format_value(v)}" for k, v in fields.items())
+        line = " ".join(parts)
+        stream = self.stream if self.stream is not None else sys.stderr
+        with self._lock:
+            stream.write(line + "\n")
+            stream.flush()
+            self.emitted += 1
+        return line
+
+    # -- level shorthands -----------------------------------------------
+
+    def debug(self, event: str, **fields) -> str | None:
+        """Emit at level ``debug``; returns the line or ``None``."""
+        return self.event(event, level="debug", **fields)
+
+    def info(self, event: str, **fields) -> str | None:
+        """Emit at level ``info``; returns the line or ``None``."""
+        return self.event(event, level="info", **fields)
+
+    def warn(self, event: str, **fields) -> str | None:
+        """Emit at level ``warn``; returns the line or ``None``."""
+        return self.event(event, level="warn", **fields)
+
+    def error(self, event: str, **fields) -> str | None:
+        """Emit at level ``error``; returns the line or ``None``."""
+        return self.event(event, level="error", **fields)
+
+
+#: Process-wide logger registry (one logger per component name).
+_LOGGERS: dict[str, StructuredLogger] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """Returns the process-wide :class:`StructuredLogger` for ``name``.
+
+    Loggers are cached by name so configuration (stream, level) set on
+    one reference is seen by every user of that component logger.
+    """
+    with _REGISTRY_LOCK:
+        logger = _LOGGERS.get(name)
+        if logger is None:
+            logger = _LOGGERS[name] = StructuredLogger(name)
+        return logger
+
+
+def configure(stream: IO[str] | None = None, level: str | None = None) -> None:
+    """Reconfigure every registered logger (and future defaults).
+
+    ``stream=None`` leaves streams untouched; pass e.g. an open file to
+    redirect all structured output there.  ``level`` applies to all
+    existing loggers.
+    """
+    if level is not None and level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; choose from {LEVELS}")
+    with _REGISTRY_LOCK:
+        for logger in _LOGGERS.values():
+            if stream is not None:
+                logger.stream = stream
+            if level is not None:
+                logger.level = level
+
+
+class ProgressReporter:
+    """Periodic structured heartbeat of a running simulation.
+
+    Constructed on rank 0 when ``SimulationConfig.progress_interval`` is
+    set; :meth:`step` is called once per completed step and emits every
+    ``interval`` steps (and on the final step).  The ETA and rolling
+    throughput come from a bounded window of recent step completions, so
+    the estimate tracks the current collapse phase rather than the whole
+    run history.
+
+    Parameters
+    ----------
+    total_steps:
+        Step budget of the run (``max_steps``); percent-done and ETA are
+        relative to it.
+    cells:
+        Global cell count advanced per step (for Gcells/s).
+    interval:
+        Steps between heartbeats (must be positive).
+    window:
+        Completions retained for the rolling estimates.
+    logger:
+        Override sink (defaults to the ``telemetry.progress`` logger).
+    """
+
+    def __init__(self, total_steps: int, cells: int, interval: int = 10,
+                 window: int = 32,
+                 logger: StructuredLogger | None = None):
+        if interval < 1:
+            raise ValueError("progress interval must be positive")
+        self.total_steps = int(total_steps)
+        self.cells = int(cells)
+        self.interval = int(interval)
+        self.logger = logger if logger is not None \
+            else get_logger("telemetry.progress")
+        self._ticks: deque[tuple[float, int]] = deque(maxlen=max(2, window))
+        self._ticks.append((now(), 0))
+        self.heartbeats = 0  #: heartbeats emitted so far
+
+    def _rolling(self, t: float, step: int) -> tuple[float, float]:
+        """Rolling (seconds-per-step, Gcells/s) over the window.
+
+        Returns ``(0.0, 0.0)`` for degenerate windows (no elapsed time)
+        instead of emitting inf/NaN into the heartbeat stream.
+        """
+        t0, s0 = self._ticks[0]
+        elapsed, steps = t - t0, step - s0
+        if elapsed <= 1e-9 or steps <= 0:
+            return 0.0, 0.0
+        per_step = elapsed / steps
+        return per_step, steps * self.cells / elapsed / 1e9
+
+    def step(self, step: int, sim_time: float = 0.0, dt: float = 0.0,
+             imbalance: float | None = None,
+             extra: Mapping[str, float] | None = None) -> str | None:
+        """Record a completed ``step``; maybe emit a heartbeat.
+
+        Returns the emitted line (heartbeat steps) or ``None``
+        (intermediate steps).  ``imbalance`` is the node-level
+        work-imbalance factor of the step (omitted from the line when
+        unknown); ``extra`` fields are appended verbatim.
+        """
+        t = now()
+        per_step, gcells = self._rolling(t, step)
+        self._ticks.append((t, step))
+        final = step >= self.total_steps
+        if step % self.interval and not final:
+            return None
+        remaining = max(self.total_steps - step, 0)
+        fields: dict = {
+            "step": step,
+            "of": self.total_steps,
+            "pct": round(100.0 * step / self.total_steps, 1)
+            if self.total_steps else 100.0,
+            "t": round(sim_time, 6),
+            "dt": round(dt, 6),
+            "eta_s": round(per_step * remaining, 1),
+            "gcells_per_s": round(gcells, 6),
+        }
+        if imbalance is not None:
+            fields["imbalance"] = round(float(imbalance), 4)
+        if extra:
+            fields.update(extra)
+        self.heartbeats += 1
+        return self.logger.info("progress", **fields)

@@ -16,6 +16,8 @@ when a :class:`repro.telemetry.MetricsSnapshot` is attached.
 
 from __future__ import annotations
 
+import math
+
 from ..perf.report import format_table
 
 #: The paper's Section 6 claim: compressed dumps cost < 1 % of run time.
@@ -26,18 +28,45 @@ PAPER_IO_FRACTION = 0.01
 #: nested and totals skip them.
 NESTED_PHASES = frozenset({"IO_FWT", "IO_WRITE"})
 
+#: Wall-clock denominators below this are degenerate measurements
+#: (sub-nanosecond "runs" from mocked clocks or empty smoke cases);
+#: rates computed from them report 0.0 instead of inf/NaN.
+MIN_WALL_SECONDS = 1e-9
+
+#: Process-wide tally of degenerate-denominator guards taken, keyed by
+#: guard site (``io_fraction_degenerate_wall``, ...).  Observability for
+#: the observability layer: a smoke case silently reporting 0 Gcells/s
+#: is visible here instead of poisoning trend records with NaN.
+DEGENERATE_COUNTS: dict[str, int] = {}
+
+
+def safe_rate(numer: float, denom: float, counter: str) -> float:
+    """``numer / denom`` guarded against degenerate denominators.
+
+    Returns 0.0 (and bumps ``counter`` in :data:`DEGENERATE_COUNTS`)
+    when ``denom`` is missing, below :data:`MIN_WALL_SECONDS` or
+    non-finite -- never raises, never returns inf/NaN.
+    """
+    if not denom or denom < MIN_WALL_SECONDS or not math.isfinite(denom):
+        DEGENERATE_COUNTS[counter] = DEGENERATE_COUNTS.get(counter, 0) + 1
+        return 0.0
+    return numer / denom
+
 
 def io_fraction(result) -> float:
     """Fraction of run wall time spent in the wavelet dump phase.
 
     Returns ``IO_WAVELET`` seconds (mean per rank) over the run wall
-    time, 0.0 for runs without dumps -- the quantity the paper bounds by
-    1 % (Section 6).
+    time -- the quantity the paper bounds by 1 % (Section 6).  Runs
+    without dumps return 0.0; degenerate (near-zero) wall times return
+    0.0 with a :data:`DEGENERATE_COUNTS` bump instead of emitting
+    inf/NaN.
     """
-    wall = getattr(result, "wall_seconds", 0.0)
-    if not wall:
+    io_seconds = result.timers.get("IO_WAVELET", 0.0)
+    if not io_seconds:
         return 0.0
-    return result.timers.get("IO_WAVELET", 0.0) / wall
+    return safe_rate(io_seconds, getattr(result, "wall_seconds", 0.0),
+                     "io_fraction_degenerate_wall")
 
 
 def run_scorecard_rows(result) -> list[dict]:
@@ -75,6 +104,9 @@ def run_scorecard_rows(result) -> list[dict]:
         "Gcells/s": result.cells_per_second / 1e9,
         "steps": steps,
     })
+    imb = _run_imbalance_row(result)
+    if imb is not None:
+        rows.append(imb)
     if snap is not None:
         rows.append({
             "phase": "modeled compute",
@@ -112,6 +144,29 @@ def run_scorecard_rows(result) -> list[dict]:
 def _parent_of(name: str) -> str:
     """The enclosing phase a nested phase accumulates inside (str)."""
     return "IO_WAVELET" if name in NESTED_PHASES else ""
+
+
+def _run_imbalance_row(result) -> dict | None:
+    """Cross-rank load-imbalance scorecard row, or ``None``.
+
+    Multi-rank runs get the total-step-time load-imbalance factor
+    (max/mean, the paper's Table 4 basis) with straggler attribution;
+    single-rank runs (where the metric is undefined) get no row.
+    """
+    from .analytics import run_imbalance
+
+    rows = run_imbalance(result)
+    if not rows:
+        return None
+    total = rows[-1]  # the TOTAL row of the per-phase table
+    worst_phase = max(rows[:-1], key=lambda r: r["max [s]"] - r["mean [s]"])
+    return {
+        "phase": "load imbalance",
+        "factor": total["lif"],
+        "spread": total["imbalance"],
+        "check": (f"rank {total['slowest rank']} bound "
+                  f"({worst_phase['phase']})"),
+    }
 
 
 def format_run_scorecard(result) -> str:

@@ -1,0 +1,317 @@
+"""Perf-trajectory provenance, history and the regression gate.
+
+ROADMAP item 1 asks for a *committed, CI-gated perf trajectory*: the
+kernel microbench record (``BENCH_kernels.json``, written by
+``benchmarks/bench_throughput.py``) must carry enough provenance to be
+comparable across PRs, accumulate into an append-only history, and gate
+regressions mechanically.  This module owns all three:
+
+* :func:`provenance` -- the provenance block stamped on every record
+  (schema :data:`KERNEL_SCHEMA_V2`): host fingerprint, git sha, ISO
+  timestamp, python/numpy versions;
+* :func:`append_history` / :func:`load_history` -- the append-only
+  ``BENCH_history.jsonl`` trajectory (one stamped record per line);
+* :func:`check_trend` -- the tolerance-gated comparison of a fresh
+  record against the committed trajectory, run as
+  ``python -m repro.telemetry trend --check`` (exit 1 on regression).
+
+The gate compares per-kernel Gcells/s against the best committed value
+from the *same host fingerprint* when the history has one (so a laptop
+checking against a CI-made trajectory is not spuriously red), falling
+back to the best value across all hosts.  A kernel regresses when its
+measured throughput drops below ``baseline / (1 + tolerance)`` -- the
+default tolerance 0.5 passes normal best-of-N jitter and fails a 2x
+slowdown outright.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+
+#: Kernel microbench schema with the mandatory provenance block.
+KERNEL_SCHEMA_V2 = "repro.bench_kernels/v2"
+
+#: Superseded provenance-free schema (PR 6); still readable.
+KERNEL_SCHEMA_V1 = "repro.bench_kernels/v1"
+
+#: Repository root (``src/repro/telemetry`` is three levels below it).
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: Default locations of the record and the committed trajectory.
+DEFAULT_RECORD = REPO_ROOT / "BENCH_kernels.json"
+DEFAULT_HISTORY = REPO_ROOT / "BENCH_history.jsonl"
+
+#: Default regression tolerance: fail below ``baseline / (1 + tol)``.
+DEFAULT_TOLERANCE = 0.5
+
+
+def host_fingerprint() -> str:
+    """Stable 12-hex fingerprint of the benchmarking host (str).
+
+    Hashes hostname, architecture, processor string and core count --
+    enough to tell records from different machines apart without
+    leaking the raw hostname into committed artifacts.
+    """
+    basis = "|".join([
+        platform.node(),
+        platform.machine(),
+        platform.processor() or "",
+        str(os.cpu_count() or 0),
+    ])
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:12]
+
+
+def git_sha(repo: Path | str = REPO_ROOT) -> str:
+    """Current commit sha of ``repo``, or ``"unknown"`` (str).
+
+    Never raises: records must be writable from exported tarballs and
+    containers without git.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=str(repo),
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def provenance() -> dict:
+    """The provenance block of a v2 record (dict of str).
+
+    Keys: ``host`` (fingerprint), ``git_sha``, ``timestamp`` (ISO 8601
+    UTC), ``python``, ``numpy``.
+    """
+    import numpy as np
+
+    return {
+        "host": host_fingerprint(),
+        "git_sha": git_sha(),
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def stamp(record: dict) -> dict:
+    """Returns a copy of ``record`` upgraded to schema v2 + provenance.
+
+    Records already carrying a provenance block keep it; the schema
+    field is always normalized to :data:`KERNEL_SCHEMA_V2`.
+    """
+    out = dict(record)
+    out["schema"] = KERNEL_SCHEMA_V2
+    out.setdefault("provenance", provenance())
+    return out
+
+
+def _validate(record: dict, where: str) -> None:
+    if record.get("schema") not in (KERNEL_SCHEMA_V1, KERNEL_SCHEMA_V2):
+        raise ValueError(
+            f"{where}: unknown bench schema {record.get('schema')!r}"
+        )
+    if record["schema"] == KERNEL_SCHEMA_V2 and "provenance" not in record:
+        raise ValueError(f"{where}: v2 record without a provenance block")
+    if not isinstance(record.get("kernels"), dict) or not record["kernels"]:
+        raise ValueError(f"{where}: record carries no kernel timings")
+
+
+def load_record(path: str | Path) -> dict:
+    """Load and validate one microbench record (returns the dict)."""
+    record = json.loads(Path(path).read_text(encoding="utf-8"))
+    _validate(record, str(path))
+    return record
+
+
+def append_history(record: dict, path: str | Path = DEFAULT_HISTORY) -> Path:
+    """Append one stamped record to the trajectory; returns the path.
+
+    The history is strictly append-only JSONL: one validated v2 record
+    per line, never rewritten (provenance timestamps keep it ordered).
+    """
+    record = stamp(record)
+    _validate(record, "history append")
+    path = Path(path)
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(path: str | Path = DEFAULT_HISTORY) -> list[dict]:
+    """Load the trajectory records of a history file (list of dicts).
+
+    Blank lines are skipped; every record is schema-validated so a
+    corrupt trajectory fails loudly rather than gating against garbage.
+    """
+    out = []
+    with open(path, "r", encoding="utf-8") as f:
+        for i, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            _validate(record, f"{path}:{i}")
+            out.append(record)
+    return out
+
+
+def trajectory(history: list[dict], host: str | None = None) -> dict[str, float]:
+    """Per-kernel baseline Gcells/s of a trajectory (dict).
+
+    The baseline is the best committed throughput per kernel.  With
+    ``host`` given and present in the history, only that host's records
+    contribute -- cross-machine comparisons are apples-to-oranges and
+    only used as a fallback.
+    """
+    if host is not None:
+        same_host = [
+            r for r in history
+            if r.get("provenance", {}).get("host") == host
+        ]
+        if same_host:
+            history = same_host
+    best: dict[str, float] = {}
+    for record in history:
+        for name, row in record["kernels"].items():
+            g = float(row.get("gcells_per_s", 0.0))
+            if g > best.get(name, 0.0):
+                best[name] = g
+    return best
+
+
+@dataclass
+class TrendReport:
+    """Outcome of one trajectory check."""
+
+    tolerance: float
+    rows: list[dict] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """Whether every gated kernel cleared the tolerance."""
+        return all(r["ok"] for r in self.rows)
+
+    def regressions(self) -> list[dict]:
+        """The failing rows (list of dicts)."""
+        return [r for r in self.rows if not r["ok"]]
+
+    def format(self) -> str:
+        """Human-readable gate table (returns the str)."""
+        from ..perf.report import format_table
+
+        verdict = "PASS" if self.passed else "REGRESSION"
+        title = (f"Perf trajectory check (tolerance {self.tolerance:.0%} "
+                 f"below baseline): {verdict}")
+        return format_table(self.rows, title, floatfmt="{:.4g}")
+
+
+def check_trend(record: dict, history: list[dict],
+                tolerance: float = DEFAULT_TOLERANCE) -> TrendReport:
+    """Gate a fresh record against the committed trajectory.
+
+    Returns a :class:`TrendReport` with one row per measured kernel:
+    the (host-matched) baseline Gcells/s, the measured value, their
+    ratio and the verdict.  Kernels without any committed baseline pass
+    with a note -- a new kernel must not block the PR that adds it.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    host = record.get("provenance", {}).get("host")
+    baseline = trajectory(history, host=host)
+    floor_scale = 1.0 / (1.0 + tolerance)
+    rows = []
+    for name, row in record["kernels"].items():
+        measured = float(row.get("gcells_per_s", 0.0))
+        base = baseline.get(name)
+        if base is None or base <= 0.0:
+            rows.append({
+                "kernel": name, "baseline": 0.0, "measured": measured,
+                "ratio": 1.0, "ok": True, "note": "no baseline (new kernel)",
+            })
+            continue
+        ratio = measured / base
+        ok = ratio >= floor_scale
+        rows.append({
+            "kernel": name, "baseline": base, "measured": measured,
+            "ratio": ratio, "ok": ok,
+            "note": "" if ok else f"below {floor_scale:.2f}x of baseline",
+        })
+    return TrendReport(tolerance=tolerance, rows=rows)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``trend`` subcommand's argument parser."""
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.telemetry trend",
+        description="Perf-trajectory gate over the committed kernel "
+        "microbench history (see docs/telemetry.md).",
+    )
+    ap.add_argument("--record", default=str(DEFAULT_RECORD), metavar="PATH",
+                    help="fresh microbench record to gate/append "
+                    "(default: BENCH_kernels.json)")
+    ap.add_argument("--history", default=str(DEFAULT_HISTORY), metavar="PATH",
+                    help="append-only trajectory file "
+                    "(default: BENCH_history.jsonl)")
+    ap.add_argument("--check", action="store_true",
+                    help="gate the record against the history "
+                    "(exit 1 on regression)")
+    ap.add_argument("--append", action="store_true",
+                    help="stamp the record (schema v2 + provenance) and "
+                    "append it to the history")
+    ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                    help="allowed fractional slowdown vs baseline "
+                    f"(default {DEFAULT_TOLERANCE})")
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``trend`` subcommand entry point; returns the exit code.
+
+    Exit codes: 0 pass, 1 regression detected by ``--check``, 2 usage
+    error (missing files, no action, bad schema).
+
+    The prints below are this subcommand's user-facing CLI output
+    (dispatched from ``repro.telemetry.__main__``), hence the CL012
+    pragmas.
+    """
+    args = build_parser().parse_args(argv)
+    if not (args.check or args.append):
+        print("trend: nothing to do; pass --check and/or --append",
+              file=sys.stderr)  # lint: disable=CL012
+        return 2
+    try:
+        record = load_record(args.record)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"trend: cannot load record: {exc}",
+              file=sys.stderr)  # lint: disable=CL012
+        return 2
+    code = 0
+    if args.check:
+        try:
+            history = load_history(args.history)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"trend: cannot load history: {exc}",
+                  file=sys.stderr)  # lint: disable=CL012
+            return 2
+        report = check_trend(record, history, tolerance=args.tolerance)
+        print(report.format())  # lint: disable=CL012
+        if not report.passed:
+            code = 1
+    if args.append:
+        path = append_history(record, args.history)
+        print(f"trend: appended "  # lint: disable=CL012
+              f"{args.record} to {path}")
+    return code

@@ -29,9 +29,11 @@ def rules_of(violations):
 # -- registry & framework ------------------------------------------------
 
 
-def test_registry_has_the_eleven_rules():
+def test_registry_has_the_twelve_rules():
     ids = [cls.rule_id for cls in registered_rules()]
-    assert ids == [f"CL00{i}" for i in range(1, 10)] + ["CL010", "CL011"]
+    assert ids == (
+        [f"CL00{i}" for i in range(1, 10)] + ["CL010", "CL011", "CL012"]
+    )
     for cls in registered_rules():
         assert cls.name and cls.description
 
@@ -528,6 +530,61 @@ def test_cl011_pragma_opt_out():
         path="src/repro/cluster/fixture.py",
     )
     assert "CL011" not in rules_of(out)
+
+
+# -- CL012: bare print in library code -----------------------------------
+
+
+def test_cl012_flags_bare_print_in_library_code():
+    out = lint(
+        """
+        def run(step):
+            print(f"step {step} done")
+        """,
+        path="src/repro/cluster/fixture.py",
+    )
+    assert "CL012" in rules_of(out)
+
+
+def test_cl012_exempts_cli_and_main_modules():
+    text = 'print("user-facing output")\n'
+    for path in ("src/repro/cli.py", "src/repro/validation/cli.py",
+                 "src/repro/telemetry/__main__.py"):
+        assert "CL012" not in rules_of(lint_source(text, path))
+
+
+def test_cl012_clean_when_routed_through_the_structured_logger():
+    out = lint(
+        """
+        from repro.telemetry.log import get_logger
+        def run(step):
+            get_logger("cluster.driver").info("progress", step=step)
+        """,
+        path="src/repro/cluster/fixture.py",
+    )
+    assert "CL012" not in rules_of(out)
+
+
+def test_cl012_pragma_opt_out():
+    out = lint(
+        """
+        def render(stream):
+            print("table", file=stream)  # lint: disable=CL012
+        """,
+        path="src/repro/perf/fixture.py",
+    )
+    assert "CL012" not in rules_of(out)
+
+
+def test_cl012_does_not_flag_attribute_or_local_print_lookalikes():
+    out = lint(
+        """
+        def run(doc, printer):
+            printer.print(doc)
+        """,
+        path="src/repro/perf/fixture.py",
+    )
+    assert "CL012" not in rules_of(out)
 
 
 # -- pragmas -------------------------------------------------------------

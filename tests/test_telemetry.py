@@ -342,3 +342,104 @@ def test_timestepper_advance_traces_stages():
     np.testing.assert_allclose(out, ref)
     assert tr.calls["RHS"] == 3 and tr.calls["UP"] == 3
     assert tr.counters["rhs_cell_updates"] == 3 * 4  # leading-dim cells
+
+
+# -- Chrome trace exporter round-trip (satellite) -------------------------
+
+
+def test_chrome_trace_roundtrip_counts_and_rank_mapping(tmp_path):
+    result = run_sim(telemetry="trace", steps=3, ranks=2)
+    path = tmp_path / "trace.json"
+    n = write_chrome_trace(str(path), result)
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc["traceEvents"]
+    assert len(events) == n
+    # One thread-name metadata record per rank, all in pid 0.
+    metas = [e for e in events if e["ph"] == "M"]
+    assert {m["tid"] for m in metas} == {0, 1}
+    assert all(m["pid"] == 0 for m in metas)
+    # Every span of every rank survives the round trip, mapped to the
+    # rank's tid.
+    xs = [e for e in events if e["ph"] == "X"]
+    per_rank = {rr.rank: len(rr.trace_events) for rr in result.rank_results}
+    got: dict[int, int] = {}
+    for e in xs:
+        assert e["pid"] == 0
+        got[e["tid"]] = got.get(e["tid"], 0) + 1
+    assert got == per_rank
+
+
+def test_chrome_trace_timestamps_monotonic_per_rank(tmp_path):
+    # Spans are appended at exit, so within one rank (and one nesting
+    # depth) start timestamps must be non-decreasing; a violation means
+    # the exporter scrambled the timeline.
+    result = run_sim(tmp_path, telemetry="trace", steps=2, ranks=2,
+                     dump_interval=1)
+    with open(tmp_path / "t.json", "w") as f:
+        json.dump({"traceEvents": run_trace_events(result)}, f)
+    with open(tmp_path / "t.json") as f:
+        xs = [e for e in json.load(f)["traceEvents"] if e["ph"] == "X"]
+    seen_depths = set()
+    for rank in (0, 1):
+        by_depth: dict[int, list[float]] = {}
+        for e in xs:
+            if e["tid"] == rank:
+                by_depth.setdefault(e["args"]["depth"], []).append(e["ts"])
+        seen_depths |= set(by_depth)
+        for ts in by_depth.values():
+            assert all(a <= b for a, b in zip(ts, ts[1:]))
+    # The dump run exercises nesting (IO_FWT/IO_WRITE inside IO_WAVELET).
+    assert {0, 1} <= seen_depths
+
+
+# -- degenerate-denominator guards (satellite) ----------------------------
+
+
+def test_safe_rate_guards_zero_and_nonfinite_denominators():
+    from repro.telemetry import DEGENERATE_COUNTS, safe_rate
+
+    before = DEGENERATE_COUNTS.get("unit_test_guard", 0)
+    assert safe_rate(5.0, 0.0, "unit_test_guard") == 0.0
+    assert safe_rate(5.0, 1e-12, "unit_test_guard") == 0.0
+    assert safe_rate(5.0, float("nan"), "unit_test_guard") == 0.0
+    assert safe_rate(5.0, float("inf"), "unit_test_guard") == 0.0
+    assert DEGENERATE_COUNTS["unit_test_guard"] == before + 4
+    assert safe_rate(5.0, 2.0, "unit_test_guard") == 2.5
+    assert DEGENERATE_COUNTS["unit_test_guard"] == before + 4
+
+
+def test_io_fraction_degenerate_wall_returns_zero_not_inf():
+    from repro.telemetry import DEGENERATE_COUNTS
+
+    result = run_sim(telemetry="off", steps=1)
+    result.timers["IO_WAVELET"] = 1.0  # pretend the run dumped
+    result.wall_seconds = 0.0
+    before = DEGENERATE_COUNTS.get("io_fraction_degenerate_wall", 0)
+    assert io_fraction(result) == 0.0
+    assert DEGENERATE_COUNTS["io_fraction_degenerate_wall"] == before + 1
+
+
+def test_cells_per_second_degenerate_wall_returns_zero():
+    result = run_sim(telemetry="off", steps=1)
+    result.wall_seconds = 0.0
+    assert result.cells_per_second == 0.0
+
+
+# -- cross-rank imbalance scorecard row (tentpole) ------------------------
+
+
+def test_scorecard_multirank_run_gets_a_load_imbalance_row():
+    result = run_sim(telemetry="off", steps=2, ranks=2)
+    rows = {r["phase"]: r for r in run_scorecard_rows(result)}
+    row = rows["load imbalance"]
+    assert row["factor"] >= 1.0
+    assert row["spread"] >= 0.0
+    assert "bound" in row["check"]
+    assert "rank" in row["check"]
+
+
+def test_scorecard_single_rank_run_has_no_imbalance_row():
+    result = run_sim(telemetry="off", steps=1, ranks=1)
+    labels = [r["phase"] for r in run_scorecard_rows(result)]
+    assert "load imbalance" not in labels
