@@ -1,0 +1,148 @@
+"""Cluster-backend wall-clock comparison: thread ranks vs process ranks.
+
+The paper's headline quantity is measured parallel throughput (721
+Gcells/s on 96 racks); this bench measures the reproduction's analogue:
+the wall-clock ratio between the thread-based ``sim`` backend (all
+ranks GIL-serialized in one interpreter) and the process-parallel
+``procs`` backend (real OS processes over shared-memory rings) on the
+same seeded tier-2 case.  On a >= 4-core host the 4-rank case is
+expected to show >= 2.5x; on fewer cores the procs backend can only tie
+(minus IPC overhead), so the measured ``cpu_count`` is stamped into the
+record -- the number is honest either way.
+
+Both backends produce bit-identical fields (asserted here on the smoke
+case; the full differential contract lives in
+``tests/test_backend_equivalence.py``), so this ratio is a pure
+runtime comparison::
+
+    PYTHONPATH=src python benchmarks/bench_cluster_backends.py --smoke
+    PYTHONPATH=src python benchmarks/bench_cluster_backends.py \\
+        --append   # record the trajectory point in BENCH_history.jsonl
+"""
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from _common import write_json_result, write_result
+
+from repro.cluster import Simulation
+from repro.sim.cloud import Bubble
+from repro.sim.config import SimulationConfig
+from repro.sim.ic import cloud_collapse
+from repro.telemetry import trend
+
+#: Fixed seed/case parameters (tier-2: a real collapse on a 4-rank grid).
+SEED = 2013
+RANKS = 4
+CASE = dict(cells=32, block_size=8, max_steps=6)
+SMOKE_CASE = dict(cells=16, block_size=8, max_steps=3)
+
+
+def make_ic(cfg: SimulationConfig):
+    return cloud_collapse(
+        [Bubble((0.42, 0.55, 0.47), 0.18), Bubble((0.65, 0.4, 0.62), 0.12)],
+        p_liquid=500.0, smoothing=cfg.h,
+    )
+
+
+def run_backend(backend: str, case: dict, ranks: int):
+    """One timed run; returns (wall_seconds, RunResult)."""
+    cfg = SimulationConfig(
+        **case, ranks=ranks, cluster_backend=backend, comm_timeout=120.0,
+    )
+    sim = Simulation(cfg, make_ic(cfg))
+    t0 = time.perf_counter()
+    result = sim.run()
+    return time.perf_counter() - t0, result
+
+
+def bench(case: dict, ranks: int, repeats: int) -> dict:
+    """Measure both backends; returns the stamped v2 trajectory record."""
+    cells = case["cells"] ** 3
+    cell_steps = cells * case["max_steps"]
+    walls = {"sim": [], "procs": []}
+    fields = {}
+    for _ in range(repeats):
+        for backend in ("sim", "procs"):
+            wall, result = run_backend(backend, case, ranks)
+            walls[backend].append(wall)
+            fields[backend] = result.final_field
+    np.testing.assert_array_equal(fields["sim"], fields["procs"])
+
+    kernels = {}
+    for backend in ("sim", "procs"):
+        best = min(walls[backend])
+        kernels[f"cluster_{backend}_{ranks}rank"] = {
+            "wall_s": round(best, 6),
+            "cells_per_call": cell_steps,
+            "gcells_per_s": round(cell_steps / best / 1e9, 9),
+        }
+    speedup = (min(walls["sim"]) / min(walls["procs"])
+               if min(walls["procs"]) > 0 else 0.0)
+    return trend.stamp({
+        "case": {
+            **{k: case[k] for k in ("cells", "block_size", "max_steps")},
+            "ranks": ranks,
+            "repeats": repeats,
+            "seed": SEED,
+            "cpu_count": os.cpu_count(),
+            "procs_speedup": round(speedup, 4),
+            "bit_identical": True,
+        },
+        "kernels": kernels,
+    })
+
+
+def render(record: dict) -> str:
+    case = record["case"]
+    lines = [
+        "Cluster-backend comparison (thread ranks vs process ranks)",
+        f"case: cells={case['cells']} ranks={case['ranks']} "
+        f"steps={case['max_steps']} repeats={case['repeats']} "
+        f"host_cores={case['cpu_count']}",
+        f"{'backend':<24} {'wall [s]':>10} {'Gcells/s':>12}",
+    ]
+    for name, row in sorted(record["kernels"].items()):
+        lines.append(
+            f"{name:<24} {row['wall_s']:>10.3f} {row['gcells_per_s']:>12.6f}"
+        )
+    lines.append(
+        f"procs speedup: {case['procs_speedup']:.2f}x "
+        f"(target >= 2.5x on >= 4 cores; fields bit-identical)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small case for CI (2 ranks, 16^3, 3 steps)")
+    ap.add_argument("--repeats", type=int, default=2)
+    ap.add_argument("--out", default=None, metavar="PATH",
+                    help="also write the record to this JSON path")
+    ap.add_argument("--append", action="store_true",
+                    help="append the record to BENCH_history.jsonl "
+                         "(the perf-trajectory gate's history)")
+    cli = ap.parse_args(argv)
+
+    case = SMOKE_CASE if cli.smoke else CASE
+    ranks = 2 if cli.smoke else RANKS
+    record = bench(case, ranks, cli.repeats)
+    text = render(record)
+    write_result("cluster_backends", text)
+    write_json_result("cluster_backends", record)
+    if cli.out:
+        with open(cli.out, "w") as f:
+            json.dump(record, f, indent=2, sort_keys=True)
+            f.write("\n")
+    if cli.append:
+        print(f"[appended to {trend.append_history(record)}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -88,6 +88,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_recoveries=args.max_recoveries,
         comm_timeout=args.comm_timeout,
         concurrency_check=args.concurrency_check,
+        cluster_backend=args.cluster_backend,
         flight_out=args.flight_out,
         progress_interval=args.progress,
     )
@@ -258,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--bubbles", type=int, default=4)
     run.add_argument("--steps", type=int, default=60)
     run.add_argument("--ranks", type=int, default=1)
+    run.add_argument("--cluster-backend", choices=["sim", "procs"],
+                     default="sim",
+                     help="cluster runtime: 'sim' (rank threads, "
+                          "deterministic default) or 'procs' (rank "
+                          "processes over shared-memory rings; real "
+                          "multi-core scaling, bit-identical results)")
     run.add_argument("--pressure", type=float, default=1000.0)
     run.add_argument("--seed", type=int, default=2013)
     run.add_argument("--wall", action="store_true")

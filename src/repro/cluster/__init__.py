@@ -3,11 +3,19 @@
 "The cluster layer is responsible for the domain decomposition and the
 inter-rank information exchange." (paper Section 6)
 
-The MPI substrate is simulated in-process (see
-:mod:`repro.cluster.mpi_sim`) with the same API surface and control flow
-as the paper's MPI usage: non-blocking halo exchange overlapped with
+Two interchangeable communicator backends share one API surface and the
+paper's control flow (non-blocking halo exchange overlapped with
 interior-block computation, max-allreduce for the time step, and an
-exclusive prefix sum ahead of collective compressed writes.
+exclusive prefix sum ahead of collective compressed writes):
+
+* :mod:`repro.cluster.mpi_sim` -- ranks as threads of one interpreter
+  (deterministic, debuggable, race-trackable); the default.
+* :mod:`repro.cluster.procs` -- ranks as real OS processes exchanging
+  CRC-framed messages through shared-memory rings (real multi-core
+  scaling; bit-identical results).
+
+Select per run with ``SimulationConfig.cluster_backend``; see
+``docs/cluster.md`` for the backend matrix.
 """
 
 from .checkpoint import (
@@ -30,6 +38,7 @@ from .mpi_sim import (
     WorldAbortError,
     WorldError,
 )
+from .procs import ProcsComm, ProcsWorld, RankLostError, RingCorruptionError
 from .topology import CartTopology, balanced_dims, feasible_rank_counts
 
 __all__ = [
@@ -38,9 +47,13 @@ __all__ = [
     "CartTopology",
     "CommTimeoutError",
     "HaloExchange",
+    "ProcsComm",
+    "ProcsWorld",
+    "RankLostError",
     "RankResult",
     "RemoteGhostProvider",
     "Request",
+    "RingCorruptionError",
     "RunResult",
     "SimComm",
     "SimWorld",

@@ -286,6 +286,9 @@ def rank_main(comm: SimComm, config: SimulationConfig, ic_fn,
                 "sanitize": config.sanitize,
             },
             flush_every=config.flight_flush_every,
+            # Rank processes share no memory: each writes a private
+            # part file the parent merges once the world finishes.
+            per_rank=getattr(comm, "process_parallel", False),
         )
     progress = None
     if config.progress_interval and comm.rank == 0:
@@ -616,14 +619,26 @@ class Simulation:
         from .mpi_sim import DEFAULT_TIMEOUT
 
         tracker = make_tracker(self.config.concurrency_check)
-        world = SimWorld(
-            self.config.ranks,
-            timeout=(self.config.comm_timeout
-                     if self.config.comm_timeout is not None
-                     else DEFAULT_TIMEOUT),
-            injector=self.injector,
-            tracker=tracker,
-        )
+        timeout = (self.config.comm_timeout
+                   if self.config.comm_timeout is not None
+                   else DEFAULT_TIMEOUT)
+        if self.config.cluster_backend == "procs":
+            from .procs import ProcsWorld
+
+            world = ProcsWorld(
+                self.config.ranks,
+                timeout=timeout,
+                injector=self.injector,
+                tracker=tracker,
+                ring_bytes=self.config.procs_ring_bytes,
+            )
+        else:
+            world = SimWorld(
+                self.config.ranks,
+                timeout=timeout,
+                injector=self.injector,
+                tracker=tracker,
+            )
         try:
             rank_results: list[RankResult] = world.run(
                 rank_main, self.config, self.ic_fn, self.restart_from,
@@ -651,6 +666,16 @@ class Simulation:
                     merged.extend(f.violations)
                 raise ConcurrencyViolationError(merged) from we
             raise
+        finally:
+            # Multi-process flight recordings land as per-rank part
+            # files; merge them into the final single-header stream
+            # even when the run failed (a chaos attempt's flushed
+            # prefix must stay readable).
+            if (self.config.cluster_backend == "procs"
+                    and self.config.flight_out):
+                from ..telemetry import merge_flight_parts
+
+                merge_flight_parts(self.config.flight_out)
 
         final = None
         if self.config.collect_final_field:

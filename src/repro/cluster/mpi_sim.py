@@ -71,7 +71,13 @@ class DeadlockError(CommTimeoutError):
 
     def __init__(self, message: str, report: str):
         self.report = report
+        self._message = message
         super().__init__(f"{message}\n{report}")
+
+    def __reduce__(self):
+        # The two-argument __init__ breaks default exception pickling;
+        # the procs backend ships these across the process boundary.
+        return (DeadlockError, (self._message, self.report))
 
 
 class WorldAbortError(RuntimeError):
@@ -267,6 +273,9 @@ OPS: dict[str, Callable[[Any, Any], Any]] = {
 
 class SimComm:
     """Communicator bound to one rank of a :class:`SimWorld`."""
+
+    #: Ranks share one address space here; the procs backend sets True.
+    process_parallel = False
 
     def __init__(self, world: "SimWorld", rank: int):
         self._world = world

@@ -74,6 +74,69 @@ class FaultInjector:
         self._flip_rng = random.Random(f"{self.plan.seed}:bitflip")
         self._steps: dict[int, int] = {}  #: rank -> current 1-based step
         self.counters: dict[str, float] = {}
+        #: Spec kinds this instance must never fire (the procs backend
+        #: disables ``rank_crash`` child-side: the parent supervisor
+        #: delivers it as a real SIGKILL instead).
+        self.disabled_kinds: frozenset[str] = frozenset()
+        #: Optional ``fn(rank, step)`` called on :meth:`begin_step` --
+        #: the procs backend publishes step heartbeats through it.
+        self.step_listener = None
+
+    # -- cross-process support (the procs cluster backend) ---------------
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]          # not picklable; recreated on load
+        state["step_listener"] = None  # process-local callback
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def child_clone(self, disable_kinds: tuple[str, ...] = ()
+                    ) -> "FaultInjector":
+        """A child-process injector sharing this plan (FaultInjector).
+
+        The clone starts from the parent's *current* consumed-hit state
+        (so hits spent on earlier relaunch attempts stay spent) with
+        zeroed counters -- the child reports counter *deltas* the
+        parent folds back via :meth:`merge_child`.  ``disable_kinds``
+        are never fired by the clone.
+        """
+        clone = FaultInjector(self.plan)
+        with self._lock:
+            clone._hits = list(self._hits)
+        clone.disabled_kinds = frozenset(disable_kinds)
+        return clone
+
+    def merge_child(self, counters: dict, hits: list) -> None:
+        """Fold a child injector's ledger back into this one.
+
+        Counter values add (they are deltas); consumed-hit counts take
+        the elementwise max (the child saw a superset of the parent's
+        state for the specs it armed).
+        """
+        with self._lock:
+            for name, value in counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for i, h in enumerate(hits[:len(self._hits)]):
+                if h > self._hits[i]:
+                    self._hits[i] = h
+
+    def hit_state(self) -> list[int]:
+        """Snapshot of per-spec consumed hits (list of int)."""
+        with self._lock:
+            return list(self._hits)
+
+    def fire(self, kind: str, rank: int, step: int | None,
+             target: str | None = None) -> bool:
+        """Public firing check: consume a matching armed spec (bool).
+
+        Used by the procs backend's parent-side SIGKILL supervisor,
+        which replays observed heartbeat steps through the plan.
+        """
+        return self._fires(kind, rank, step, target=target) is not None
 
     # -- bookkeeping ------------------------------------------------------
 
@@ -104,6 +167,8 @@ class FaultInjector:
         """Record the 1-based step ``rank`` is about to compute."""
         with self._lock:
             self._steps[rank] = step
+        if self.step_listener is not None:
+            self.step_listener(rank, step)
 
     def current_step(self, rank: int) -> int | None:
         """The step ``rank`` last announced, or None (int | None)."""
@@ -119,6 +184,8 @@ class FaultInjector:
         Firing consumes one of the spec's ``max_hits`` and increments
         the ``injected_<kind>`` counter.
         """
+        if kind in self.disabled_kinds:
+            return None
         with self._lock:
             for i, spec in enumerate(self.plan.faults):
                 if spec.kind != kind:

@@ -197,6 +197,13 @@ def _classify_failure(exc: BaseException, plan: FaultPlan) -> tuple[str, BaseExc
         for e in prim.values():  # the most specific cause wins
             if isinstance(e, InjectedRankCrash):
                 return "rank_crash", e
+        # Real process loss on the procs backend (e.g. an injected
+        # SIGKILL): the rank is gone, same recovery path as a crash.
+        from ..cluster.procs import RankLostError
+
+        for e in prim.values():
+            if isinstance(e, RankLostError):
+                return "rank_crash", e
         from .detect import HaloCorruptionError
 
         for e in prim.values():

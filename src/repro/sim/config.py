@@ -63,6 +63,14 @@ class SimulationConfig:
     ranks: int = 1  #: simulated MPI ranks
     num_workers: int = 4  #: threads per rank (dispatch simulation)
     periodic: tuple[bool, bool, bool] = (False, False, False)
+    #: cluster runtime: "sim" (rank threads in one interpreter, the
+    #: default -- deterministic, debuggable, race-trackable) or "procs"
+    #: (each rank a real OS process exchanging halos through
+    #: shared-memory rings -- real multi-core scaling).  Both backends
+    #: are bit-identical on the same config; see docs/cluster.md.
+    cluster_backend: str = "sim"
+    #: per-pair shared-memory ring capacity in bytes (procs backend)
+    procs_ring_bytes: int = 1 << 22
 
     # -- boundaries ----------------------------------------------------------
     wall: tuple[int, int] | None = None  #: (axis, side) of a solid wall
@@ -146,6 +154,19 @@ class SimulationConfig:
             raise ValueError(
                 f"concurrency_check={self.concurrency_check!r} not in "
                 f"{CONCURRENCY_POLICIES}"
+            )
+        if self.cluster_backend not in ("sim", "procs"):
+            raise ValueError(
+                f"cluster_backend={self.cluster_backend!r} not in "
+                f"('sim', 'procs')"
+            )
+        if self.procs_ring_bytes < 1 << 16:
+            raise ValueError("procs_ring_bytes must be >= 65536")
+        if self.cluster_backend == "procs" and self.concurrency_check != "off":
+            raise ValueError(
+                "concurrency_check requires the thread-based 'sim' "
+                "backend: the runtime race tracker cannot observe "
+                "separate rank processes"
             )
         if self.checkpoint_keep < 0:
             raise ValueError("checkpoint_keep must be >= 0")

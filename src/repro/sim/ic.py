@@ -11,9 +11,16 @@ AoS state array out).  Provided setups:
 * :func:`shock_tube` -- planar Riemann problems (Sod-type validation);
 * :func:`shock_bubble` -- a planar shock approaching a single bubble (the
   predecessor paper's showcase problem).
+
+The returned callables are plain dataclass instances (not closures) so
+they can cross a process boundary: the ``procs`` cluster backend
+pickles the IC into each spawned rank process (see
+:mod:`repro.cluster.procs`).
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -38,6 +45,26 @@ def _assemble(rho, u, v, w, p, G, P) -> np.ndarray:
     return out
 
 
+@dataclass(frozen=True)
+class UniformIC:
+    """Quiescent single-phase state (see :func:`uniform`)."""
+
+    rho: float = 1000.0
+    p: float = 100.0
+    velocity: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    material: Material = LIQUID
+
+    def __call__(self, z, y, x):
+        ones = np.ones(
+            np.broadcast_shapes(np.shape(z), np.shape(y), np.shape(x))
+        )
+        return _assemble(
+            self.rho * ones, self.velocity[2], self.velocity[1],
+            self.velocity[0], self.p * ones,
+            self.material.G, self.material.P,
+        )
+
+
 def uniform(
     rho: float = 1000.0,
     p: float = 100.0,
@@ -45,15 +72,7 @@ def uniform(
     material: Material = LIQUID,
 ):
     """Quiescent single-phase state."""
-
-    def fn(z, y, x):
-        ones = np.ones(np.broadcast_shapes(np.shape(z), np.shape(y), np.shape(x)))
-        return _assemble(
-            rho * ones, velocity[2], velocity[1], velocity[0], p * ones,
-            material.G, material.P,
-        )
-
-    return fn
+    return UniformIC(rho=rho, p=p, velocity=velocity, material=material)
 
 
 def smoothed_indicator(d, width: float):
@@ -64,6 +83,39 @@ def smoothed_indicator(d, width: float):
     if width <= 0:
         return (np.asarray(d) <= 0).astype(np.float64)
     return 0.5 * (1.0 - np.tanh(np.asarray(d) / width))
+
+
+@dataclass(frozen=True)
+class CloudCollapseIC:
+    """The paper's production IC (see :func:`cloud_collapse`)."""
+
+    bubbles: tuple[Bubble, ...]
+    liquid: Material = LIQUID
+    vapor: Material = VAPOR
+    p_liquid: float = 100.0
+    p_vapor: float = 0.0234
+    rho_liquid: float = 1000.0
+    rho_vapor: float = 1.0
+    smoothing: float = 0.0
+
+    def __call__(self, z, y, x):
+        shape = np.broadcast_shapes(np.shape(z), np.shape(y), np.shape(x))
+        alpha = np.zeros(shape)  # vapor volume fraction
+        for b in self.bubbles:
+            d = (
+                np.sqrt(
+                    (z - b.center[0]) ** 2
+                    + (y - b.center[1]) ** 2
+                    + (x - b.center[2]) ** 2
+                )
+                - b.radius
+            )
+            alpha = np.maximum(alpha, smoothed_indicator(d, self.smoothing))
+        rho = alpha * self.rho_vapor + (1.0 - alpha) * self.rho_liquid
+        p = alpha * self.p_vapor + (1.0 - alpha) * self.p_liquid
+        G = alpha * self.vapor.G + (1.0 - alpha) * self.liquid.G
+        P = alpha * self.vapor.P + (1.0 - alpha) * self.liquid.P
+        return _assemble(rho, 0.0, 0.0, 0.0, p, G, P)
 
 
 def cloud_collapse(
@@ -85,27 +137,38 @@ def cloud_collapse(
     ``smoothing`` is the interface smoothing length (in physical units,
     typically 1-2 cells); the union of bubbles is taken with a max.
     """
+    return CloudCollapseIC(
+        bubbles=tuple(bubbles), liquid=liquid, vapor=vapor,
+        p_liquid=p_liquid, p_vapor=p_vapor, rho_liquid=rho_liquid,
+        rho_vapor=rho_vapor, smoothing=smoothing,
+    )
 
-    def fn(z, y, x):
+
+@dataclass(frozen=True)
+class ShockTubeIC:
+    """Planar Riemann problem (see :func:`shock_tube`)."""
+
+    left: dict
+    right: dict
+    x0: float = 0.5
+    axis: int = 2
+    material_left: Material = LIQUID
+    material_right: Material = field(default=LIQUID)
+
+    def __call__(self, z, y, x):
+        coord = (z, y, x)[self.axis]
         shape = np.broadcast_shapes(np.shape(z), np.shape(y), np.shape(x))
-        alpha = np.zeros(shape)  # vapor volume fraction
-        for b in bubbles:
-            d = (
-                np.sqrt(
-                    (z - b.center[0]) ** 2
-                    + (y - b.center[1]) ** 2
-                    + (x - b.center[2]) ** 2
-                )
-                - b.radius
-            )
-            alpha = np.maximum(alpha, smoothed_indicator(d, smoothing))
-        rho = alpha * rho_vapor + (1.0 - alpha) * rho_liquid
-        p = alpha * p_vapor + (1.0 - alpha) * p_liquid
-        G = alpha * vapor.G + (1.0 - alpha) * liquid.G
-        P = alpha * vapor.P + (1.0 - alpha) * liquid.P
-        return _assemble(rho, 0.0, 0.0, 0.0, p, G, P)
-
-    return fn
+        is_left = np.broadcast_to(coord < self.x0, shape)
+        rho = np.where(is_left, self.left["rho"], self.right["rho"])
+        p = np.where(is_left, self.left["p"], self.right["p"])
+        un = np.where(is_left, self.left.get("u", 0.0),
+                      self.right.get("u", 0.0))
+        G = np.where(is_left, self.material_left.G, self.material_right.G)
+        P = np.where(is_left, self.material_left.P, self.material_right.P)
+        vel = [0.0, 0.0, 0.0]
+        vel[self.axis] = un
+        # AoS velocity order in _assemble is (u=x, v=y, w=z).
+        return _assemble(rho, vel[2], vel[1], vel[0], p, G, P)
 
 
 def shock_tube(
@@ -122,23 +185,58 @@ def shock_tube(
     ``u`` (normal velocity).  Distinct materials produce a two-phase
     shock tube.
     """
-    material_right = material_right or material_left
+    return ShockTubeIC(
+        left=left, right=right, x0=x0, axis=axis,
+        material_left=material_left,
+        material_right=material_right or material_left,
+    )
 
-    def fn(z, y, x):
-        coord = (z, y, x)[axis]
+
+@dataclass(frozen=True)
+class ShockBubbleIC:
+    """Planar shock plus a single bubble (see :func:`shock_bubble`)."""
+
+    bubble: Bubble
+    shock_position: float
+    p_post: float = 300.0
+    rho_post: float = 1100.0
+    u_post: float = 5.0
+    p_pre: float = 100.0
+    rho_pre: float = 1000.0
+    p_bubble: float = 0.0234
+    rho_bubble: float = 1.0
+    axis: int = 2
+    smoothing: float = 0.0
+    liquid: Material = LIQUID
+    vapor: Material = VAPOR
+
+    def __call__(self, z, y, x):
+        coord = (z, y, x)[self.axis]
         shape = np.broadcast_shapes(np.shape(z), np.shape(y), np.shape(x))
-        is_left = np.broadcast_to(coord < x0, shape)
-        rho = np.where(is_left, left["rho"], right["rho"])
-        p = np.where(is_left, left["p"], right["p"])
-        un = np.where(is_left, left.get("u", 0.0), right.get("u", 0.0))
-        G = np.where(is_left, material_left.G, material_right.G)
-        P = np.where(is_left, material_left.P, material_right.P)
+        post = np.broadcast_to(coord < self.shock_position, shape)
+        rho = np.where(post, self.rho_post, self.rho_pre)
+        p = np.where(post, self.p_post, self.p_pre)
+        un = np.where(post, self.u_post, 0.0)
+        G = np.full(shape, self.liquid.G)
+        P = np.full(shape, self.liquid.P)
+        b = self.bubble
+        d = (
+            np.sqrt(
+                (z - b.center[0]) ** 2
+                + (y - b.center[1]) ** 2
+                + (x - b.center[2]) ** 2
+            )
+            - b.radius
+        )
+        alpha = smoothed_indicator(d, self.smoothing)
+        rho = alpha * self.rho_bubble + (1.0 - alpha) * rho
+        p = alpha * self.p_bubble + (1.0 - alpha) * p
+        un = (1.0 - alpha) * un
+        G = alpha * self.vapor.G + (1.0 - alpha) * G
+        P = alpha * self.vapor.P + (1.0 - alpha) * P
         vel = [0.0, 0.0, 0.0]
-        vel[axis] = un
-        # AoS velocity order in _assemble is (u=x, v=y, w=z).
+        vel[self.axis] = un
         return _assemble(rho, vel[2], vel[1], vel[0], p, G, P)
-
-    return fn
 
 
 def shock_bubble(
@@ -161,32 +259,9 @@ def shock_bubble(
     The configuration of the group's "3D shock-bubble interactions" work
     the paper cites as its precursor.
     """
-
-    def fn(z, y, x):
-        coord = (z, y, x)[axis]
-        shape = np.broadcast_shapes(np.shape(z), np.shape(y), np.shape(x))
-        post = np.broadcast_to(coord < shock_position, shape)
-        rho = np.where(post, rho_post, rho_pre)
-        p = np.where(post, p_post, p_pre)
-        un = np.where(post, u_post, 0.0)
-        G = np.full(shape, liquid.G)
-        P = np.full(shape, liquid.P)
-        d = (
-            np.sqrt(
-                (z - bubble.center[0]) ** 2
-                + (y - bubble.center[1]) ** 2
-                + (x - bubble.center[2]) ** 2
-            )
-            - bubble.radius
-        )
-        alpha = smoothed_indicator(d, smoothing)
-        rho = alpha * rho_bubble + (1.0 - alpha) * rho
-        p = alpha * p_bubble + (1.0 - alpha) * p
-        un = (1.0 - alpha) * un
-        G = alpha * vapor.G + (1.0 - alpha) * G
-        P = alpha * vapor.P + (1.0 - alpha) * P
-        vel = [0.0, 0.0, 0.0]
-        vel[axis] = un
-        return _assemble(rho, vel[2], vel[1], vel[0], p, G, P)
-
-    return fn
+    return ShockBubbleIC(
+        bubble=bubble, shock_position=shock_position, p_post=p_post,
+        rho_post=rho_post, u_post=u_post, p_pre=p_pre, rho_pre=rho_pre,
+        p_bubble=p_bubble, rho_bubble=rho_bubble, axis=axis,
+        smoothing=smoothing, liquid=liquid, vapor=vapor,
+    )

@@ -44,6 +44,7 @@ from .flight import (
     FLIGHT_SCHEMA,
     FlightRecorder,
     iter_flight,
+    merge_flight_parts,
     read_flight,
 )
 from .log import (
@@ -93,6 +94,7 @@ __all__ = [
     "get_logger",
     "io_fraction",
     "iter_flight",
+    "merge_flight_parts",
     "make_tracer",
     "metrics_json",
     "now",

@@ -21,16 +21,27 @@ Records are buffered per file and flushed every ``flush_every`` records
 per-step cost stays at a dict build and an occasional write -- the
 < 5 % overhead budget vs ``telemetry="metrics"``.
 
-All ranks of the simulated cluster are threads of one process writing
-one file, so the underlying appender is shared per path and serialized
-by a lock (acquired/released by refcount: the first rank opening a path
-truncates it and writes the header record, the last one to close it
-flushes and closes the handle).
+Under the thread-based cluster backend all ranks are threads of one
+process writing one file, so the underlying appender is shared per path
+and serialized by a lock (acquired/released by refcount: the first rank
+opening a path truncates it and writes the header record, the last one
+to close it flushes and closes the handle).
+
+Under the process-parallel backend (:mod:`repro.cluster.procs`) that
+in-memory refcount cannot serialize anything -- each rank is its own
+process.  Recorders there open in ``per_rank`` mode: every rank appends
+to its private part file (``<path>.rank<NNNN>``, each with its own
+header) and the parent merges the parts into the final single-header
+stream with :func:`merge_flight_parts` once the world has finished.
+The merged file is byte-compatible with the thread backend's output:
+one header, step records ordered by ``(step, rank)``.
 """
 
 from __future__ import annotations
 
+import glob
 import json
+import os
 import threading
 from typing import Iterator
 
@@ -123,14 +134,24 @@ class FlightRecorder:
         header is written.
     flush_every:
         Buffered records between flushes of the shared sink.
+    per_rank:
+        Multi-process mode: write to a private part file
+        (``<path>.rank<NNNN>``) instead of the shared sink.  The
+        process-parallel cluster backend sets this (rank processes
+        share no memory, so the refcounted sink cannot serialize
+        them); the parent merges the parts with
+        :func:`merge_flight_parts` after the run.
     """
 
     def __init__(self, path: str, rank: int = 0, meta: dict | None = None,
-                 flush_every: int = DEFAULT_FLUSH_EVERY):
+                 flush_every: int = DEFAULT_FLUSH_EVERY,
+                 per_rank: bool = False):
         self.path = str(path)
         self.rank = int(rank)
         self.records = 0  #: step records written by this handle
-        self._sink, first = _acquire_sink(self.path, flush_every)
+        self._sink_path = (part_path(self.path, self.rank) if per_rank
+                           else self.path)
+        self._sink, first = _acquire_sink(self._sink_path, flush_every)
         self._closed = False
         if first:
             header = {"kind": "header", "schema": FLIGHT_SCHEMA}
@@ -164,7 +185,47 @@ class FlightRecorder:
         """
         if not self._closed:
             self._closed = True
-            _release_sink(self.path)
+            _release_sink(self._sink_path)
+
+
+def part_path(path: str, rank: int) -> str:
+    """The per-rank part file of ``path`` in multi-process mode (str)."""
+    return f"{path}.rank{rank:04d}"
+
+
+def merge_flight_parts(path: str) -> int:
+    """Merge ``<path>.rank*`` part files into one flight file at ``path``.
+
+    Produces the same layout as a thread-backend recording: a single
+    header record (taken from the lowest-ranked part) followed by every
+    step record ordered by ``(step, rank)``.  Part files are deleted on
+    success.  Missing or empty parts are tolerated -- a crashed rank's
+    flushed prefix still merges, so chaos runs keep a usable stream.
+    Returns the number of step records merged; with no parts present
+    the target file is left untouched and 0 is returned.
+    """
+    parts = sorted(glob.glob(f"{path}.rank*"))
+    if not parts:
+        return 0
+    header: dict | None = None
+    steps: list[dict] = []
+    for part in parts:
+        for rec in iter_flight(part):
+            if rec.get("kind") == "header":
+                if header is None:
+                    header = rec
+            else:
+                steps.append(rec)
+    steps.sort(key=lambda r: (r.get("step", 0), r.get("rank", 0)))
+    if header is None:
+        header = {"kind": "header", "schema": FLIGHT_SCHEMA}
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(json.dumps(header, sort_keys=True) + "\n")
+        for rec in steps:
+            f.write(json.dumps(rec, sort_keys=True) + "\n")
+    for part in parts:
+        os.remove(part)
+    return len(steps)
 
 
 def iter_flight(path: str) -> Iterator[dict]:

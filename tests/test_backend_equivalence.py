@@ -1,0 +1,146 @@
+"""Cross-backend differential suite: ``procs`` must equal ``sim`` bitwise.
+
+The process-parallel backend (:mod:`repro.cluster.procs`) is only
+admissible if it is *indistinguishable* from the thread-based reference
+backend on the same seeded configuration: identical final fields,
+identical dt sequence, identical diagnostics series, identical
+conservation sums.  Bit-identity is achievable (and therefore required)
+because the procs collectives fold contributions in the same rank order
+as the sim rendezvous combiner -- any difference is a bug, not noise.
+
+Every SPMD ingredient here is module-level / a plain dataclass so the
+spawn context can pickle it into the rank processes.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cluster import Simulation
+from repro.sim.cloud import Bubble
+from repro.sim.config import SimulationConfig
+from repro.sim.ic import cloud_collapse
+from repro.telemetry import read_flight
+
+BASE = dict(cells=16, block_size=8)
+
+#: Diagnostics attributes compared series-wise across backends.
+DIAG_SERIES = ("max_pressure", "kinetic_energy", "vapor_volume",
+               "equivalent_radius")
+
+
+def collapse_ic():
+    """An asymmetric two-bubble collapse: every rank owns moving flow."""
+    return cloud_collapse(
+        [Bubble((0.42, 0.55, 0.47), 0.18), Bubble((0.65, 0.4, 0.62), 0.12)],
+        p_liquid=500.0,
+    )
+
+
+def _run(backend, ranks, steps=3, ic=None, **overrides):
+    cfg = SimulationConfig(
+        **BASE, max_steps=steps, ranks=ranks, cluster_backend=backend,
+        comm_timeout=60.0, **overrides,
+    )
+    return Simulation(cfg, ic if ic is not None else collapse_ic()).run()
+
+
+def _assert_equivalent(res_sim, res_procs):
+    """The full differential contract between two RunResults."""
+    # Final fields: bit-identical.
+    np.testing.assert_array_equal(res_sim.final_field, res_procs.final_field)
+    # Time stepping: identical dt sequence (the DT allreduce agreed).
+    assert [r.dt for r in res_sim.records] == \
+        [r.dt for r in res_procs.records]
+    assert [r.time for r in res_sim.records] == \
+        [r.time for r in res_procs.records]
+    # Diagnostics series: identical reductions.
+    for name in DIAG_SERIES:
+        np.testing.assert_array_equal(res_sim.series(name),
+                                      res_procs.series(name))
+    # Conservation: identical global mass/energy sums of the final state.
+    for q in (0, 4):  # RHO, ENERGY
+        assert (res_sim.final_field[..., q].sum()
+                == res_procs.final_field[..., q].sum())
+    # Traffic accounting: same halo messages, same bytes, per rank.
+    for rs, rp in zip(res_sim.rank_results, res_procs.rank_results):
+        assert rs.messages_sent == rp.messages_sent
+        assert rs.bytes_sent == rp.bytes_sent
+
+
+@pytest.mark.parametrize("riemann_solver", ["hlle", "hllc"])
+@pytest.mark.parametrize("ranks", [1, 2, 4])
+def test_differential(ranks, riemann_solver):
+    """Same seeded config, both backends: bit-identical outcomes."""
+    res_sim = _run("sim", ranks, riemann_solver=riemann_solver)
+    res_procs = _run("procs", ranks, riemann_solver=riemann_solver)
+    _assert_equivalent(res_sim, res_procs)
+
+
+def test_differential_restart_from_checkpoint(tmp_path):
+    """A checkpoint written by one backend restarts bit-exact on both."""
+    ck = tmp_path / "ck"
+    ck.mkdir()
+    # Write the checkpoint with the reference backend at step 2.
+    _run("sim", 2, steps=2, checkpoint_interval=2,
+         checkpoint_dir=str(ck))
+    ckpt = str(ck / "ckpt_000002.rck")
+    assert os.path.exists(ckpt)
+
+    def restarted(backend):
+        cfg = SimulationConfig(
+            **BASE, max_steps=4, ranks=2, cluster_backend=backend,
+            comm_timeout=60.0,
+        )
+        return Simulation(cfg, collapse_ic(), restart_from=ckpt).run()
+
+    res_sim = restarted("sim")
+    res_procs = restarted("procs")
+    _assert_equivalent(res_sim, res_procs)
+    # And both match the uninterrupted reference run.
+    full = _run("sim", 2, steps=4)
+    np.testing.assert_array_equal(res_procs.final_field, full.final_field)
+
+
+def test_periodic_self_exchange():
+    """Single-rank periodic topology: the rank halo-exchanges with
+    itself; the procs loopback path must match the sim mailbox."""
+    res_sim = _run("sim", 1, periodic=(True, True, True))
+    res_procs = _run("procs", 1, periodic=(True, True, True))
+    _assert_equivalent(res_sim, res_procs)
+
+
+def test_procs_flight_stream_valid(tmp_path):
+    """A 2-rank procs run yields one complete ``repro.flight/v1`` stream.
+
+    Rank processes write per-rank part files; the driver merges them on
+    completion into a single-header stream ordered by (step, rank) and
+    removes the parts -- the regression this guards is the thread-only
+    refcounted sink silently splitting or clobbering the stream.
+    """
+    out = tmp_path / "flight.jsonl"
+    res = _run("procs", 2, steps=4, flight_out=str(out))
+    assert len(res.records) == 4
+    header, steps = read_flight(str(out))
+    assert header["schema"] == "repro.flight/v1"
+    assert header["ranks"] == 2
+    assert [(s["step"], s["rank"]) for s in steps] == [
+        (step, rank) for step in range(1, 5) for rank in range(2)
+    ]
+    for s in steps:
+        assert s["dt"] > 0 and "phases" in s and "drift" in s
+    # Parts were merged and removed.
+    assert not list(tmp_path.glob("flight.jsonl.rank*"))
+
+
+def test_procs_rejects_runtime_race_tracker():
+    """The runtime race tracker is thread-only; procs must refuse it."""
+    with pytest.raises(ValueError, match="concurrency_check"):
+        SimulationConfig(**BASE, ranks=2, cluster_backend="procs",
+                         concurrency_check="warn")
+
+
+def test_config_validates_backend_name():
+    with pytest.raises(ValueError, match="cluster_backend"):
+        SimulationConfig(**BASE, cluster_backend="mpi")
