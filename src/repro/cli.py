@@ -15,6 +15,16 @@ Three subcommands mirror the workflow of the paper's software:
 ``analyze-flight``
     Cross-rank imbalance / straggler / critical-path report over a
     flight recording written with ``run --flight-out``.
+``submit``
+    Canonicalize a simulation request into a service job line (JSONL)
+    and print its content-addressed cache key.
+``serve``
+    Run a batch of job lines through the fault-tolerant job service
+    (supervised worker pool, result cache, retry/backoff, circuit
+    breaker) and print the service scorecard.
+
+Failures exit with the documented taxonomy codes of
+:mod:`repro.exitcodes` (e.g. 66 deadlock, 67 rank lost, 69 poisoned).
 
 Usage::
 
@@ -24,6 +34,8 @@ Usage::
     python -m repro.cli validate --suite smoke --check
     python -m repro.cli run --ranks 4 --flight-out flight.jsonl
     python -m repro.cli analyze-flight flight.jsonl
+    python -m repro.cli submit --cells 16 --steps 4 --out jobs.jsonl
+    python -m repro.cli serve jobs.jsonl --workers 2
 """
 
 from __future__ import annotations
@@ -242,6 +254,124 @@ def _cmd_analyze_flight(args: argparse.Namespace) -> int:
     return 0
 
 
+def _job_request_from_args(args: argparse.Namespace):
+    """Build a canonical JobRequest from submit-style flags."""
+    from .service import ICSpec, JobRequest
+    from .sim import SimulationConfig
+
+    config = SimulationConfig(
+        cells=args.cells,
+        block_size=args.block_size,
+        max_steps=args.steps,
+        diag_interval=args.diag_interval,
+        ranks=args.ranks,
+        cluster_backend=args.cluster_backend,
+    )
+    ic = ICSpec("generated_cloud", {
+        "n_bubbles": args.bubbles,
+        "seed": args.seed,
+        "p_liquid": args.pressure,
+        "smoothing": config.h,
+    })
+    return JobRequest(config=config, ic=ic)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Canonicalize a request into a service job line (JSONL)."""
+    import json
+
+    request = _job_request_from_args(args)
+    line = json.dumps({
+        "request": request.to_payload(),
+        "priority": args.priority,
+    }, sort_keys=True)
+    if args.out:
+        with open(args.out, "a") as f:
+            f.write(line + "\n")
+        print(f"job appended to {args.out}")
+    else:
+        print(line)
+    print(f"key: {request.key()}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run a batch of job lines through the job service."""
+    import json
+
+    from .exitcodes import EXIT_OK, classify_exit
+    from .perf import format_table
+    from .service import (
+        BackoffPolicy,
+        JobEngine,
+        JobRequest,
+        ServiceConfig,
+        format_service_scorecard,
+        health_snapshot,
+    )
+
+    service_plan = None
+    if args.fault_plan:
+        from .resilience import FaultPlan
+
+        service_plan = FaultPlan.from_file(args.fault_plan)
+    svc = ServiceConfig(
+        workers=args.workers,
+        workdir=args.workdir,
+        cache_dir=args.cache_dir,
+        max_pending=args.max_pending,
+        park_capacity=args.park_capacity,
+        job_timeout=args.job_timeout,
+        backoff=BackoffPolicy(max_attempts=args.retries),
+        breaker_threshold=args.breaker_threshold,
+        checkpoint_interval=args.checkpoint_interval,
+        fault_plan=service_plan,
+        seed=args.seed,
+    )
+    with open(args.jobs) as f:
+        lines = [json.loads(line) for line in f if line.strip()]
+    engine = JobEngine(svc).start()
+    worst = EXIT_OK
+    rows = []
+    try:
+        handles = []
+        for i, doc in enumerate(lines):
+            request = JobRequest.from_payload(doc["request"])
+            plan = doc.get("fault_plan")
+            if plan is not None:
+                from .resilience import FaultPlan
+
+                plan = FaultPlan.from_dict(plan)
+            handles.append(engine.submit(
+                request,
+                priority=int(doc.get("priority", 0)),
+                fault_plan=plan,
+            ))
+        engine.drain(timeout=args.drain_timeout)
+        for i, h in enumerate(handles):
+            row = {"job": i, "key": h.key[:16], "status": h.status,
+                   "attempts": h.attempts}
+            try:
+                result = h.result(timeout=0)
+                row["cached"] = result.cached
+            except BaseException as exc:  # lint: disable=CL005 -- reported per-job
+                code, name = classify_exit(exc)
+                row["error"] = name
+                worst = max(worst, code)
+            rows.append(row)
+        snapshot = health_snapshot(engine)
+    finally:
+        engine.shutdown(drain=True, timeout=args.drain_timeout)
+    print(format_table(rows, title="jobs"))
+    print()
+    print(format_service_scorecard(snapshot))
+    if args.health_out:
+        with open(args.health_out, "w") as f:
+            json.dump(snapshot, f, indent=2, default=str)
+        print(f"\nhealth snapshot written to {args.health_out}")
+    return worst
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     """Delegate to the validation CLI (single source of truth)."""
     from .validation.cli import main as validation_main
@@ -337,6 +467,61 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-step rows shown (worst N by imbalance)")
     fl.set_defaults(func=_cmd_analyze_flight)
 
+    sb = sub.add_parser(
+        "submit",
+        help="canonicalize a request into a service job line (JSONL)",
+    )
+    sb.add_argument("--cells", type=int, default=16)
+    sb.add_argument("--block-size", type=int, default=8)
+    sb.add_argument("--steps", type=int, default=4)
+    sb.add_argument("--diag-interval", type=int, default=1)
+    sb.add_argument("--bubbles", type=int, default=2)
+    sb.add_argument("--seed", type=int, default=2013,
+                    help="physics seed of the generated bubble cloud "
+                         "(semantic: part of the cache key)")
+    sb.add_argument("--pressure", type=float, default=1000.0)
+    sb.add_argument("--ranks", type=int, default=1)
+    sb.add_argument("--cluster-backend", choices=["sim", "procs"],
+                    default="sim")
+    sb.add_argument("--priority", type=int, default=0,
+                    help="admission priority (lower = more urgent)")
+    sb.add_argument("--out", metavar="PATH", default=None,
+                    help="append the job line to this JSONL file "
+                         "(default: print to stdout)")
+    sb.set_defaults(func=_cmd_submit)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run a JSONL job batch through the fault-tolerant service",
+    )
+    sv.add_argument("jobs", help="JSONL job file written by submit")
+    sv.add_argument("--workers", type=int, default=2)
+    sv.add_argument("--workdir", default="service-work")
+    sv.add_argument("--cache-dir", default=None,
+                    help="result cache root (default: <workdir>/cache; "
+                         "reuse across invocations for cross-run hits)")
+    sv.add_argument("--max-pending", type=int, default=64)
+    sv.add_argument("--park-capacity", type=int, default=64)
+    sv.add_argument("--job-timeout", type=float, default=None,
+                    help="per-job wall-clock budget in seconds")
+    sv.add_argument("--retries", type=int, default=3, metavar="N",
+                    help="total attempts per job (first try included)")
+    sv.add_argument("--breaker-threshold", type=int, default=3,
+                    help="distinct-worker failures before a config is "
+                         "quarantined as poison")
+    sv.add_argument("--checkpoint-interval", type=int, default=0,
+                    help="steps between retry-resume checkpoints "
+                         "(0 = retry from scratch)")
+    sv.add_argument("--fault-plan", metavar="PATH", default=None,
+                    help="service-level JSON chaos plan (cache-write "
+                         "corruption etc.)")
+    sv.add_argument("--drain-timeout", type=float, default=600.0)
+    sv.add_argument("--health-out", metavar="PATH", default=None,
+                    help="write the service health snapshot as JSON")
+    sv.add_argument("--seed", type=int, default=2013,
+                    help="service seed (backoff jitter streams)")
+    sv.set_defaults(func=_cmd_serve)
+
     val = sub.add_parser(
         "validate", add_help=False,
         help="run the physics V&V suite (see python -m repro.validation "
@@ -358,7 +543,18 @@ def main(argv: list[str] | None = None) -> int:
 
         return validation_main(argv[1:])
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        return 130
+    except Exception as exc:
+        # Map failures onto the documented exit-code taxonomy so
+        # supervisors can classify without parsing tracebacks.
+        from .exitcodes import classify_exit
+
+        code, name = classify_exit(exc)
+        print(f"error[{name}] {exc}", file=sys.stderr)
+        return code
 
 
 if __name__ == "__main__":

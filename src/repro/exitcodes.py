@@ -1,0 +1,122 @@
+"""Documented process exit-code taxonomy for the repro CLI.
+
+Supervisors -- the job service, CI jobs, shell scripts, batch schedulers
+-- need to classify a failed ``repro`` invocation without parsing a
+traceback.  Every CLI entry point maps its failure to one of these
+codes; the service's per-job failure *kinds* map onto the same table so
+``repro serve`` exits with the code of its most severe job failure.
+
+=====  ==================  ==========================================
+code   name                meaning
+=====  ==================  ==========================================
+0      ok                  success
+1      failure             generic / unclassified failure
+2      usage               command-line usage error (argparse)
+64     invalid             invalid configuration or request
+65     data-corrupt        checkpoint / cache entry failed verification
+66     deadlock            communication deadlock (watchdog report)
+67     rank-lost           a rank process/thread died mid-run
+68     exhausted           recovery / retry attempts exhausted
+69     poisoned            config quarantined by the circuit breaker
+70     numerics            numerics sanitizer violation
+75     overload            request shed by admission control
+=====  ==================  ==========================================
+
+Codes 64-75 deliberately avoid 126+ (shell/signal range) and stay
+stable: scripts may hard-code them.
+"""
+
+from __future__ import annotations
+
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_INVALID = 64
+EXIT_DATA_CORRUPT = 65
+EXIT_DEADLOCK = 66
+EXIT_RANK_LOST = 67
+EXIT_EXHAUSTED = 68
+EXIT_POISONED = 69
+EXIT_NUMERICS = 70
+EXIT_OVERLOAD = 75
+
+#: code -> stable name (the CLI prints ``error[<name>] ...``).
+NAMES = {
+    EXIT_OK: "ok",
+    EXIT_FAILURE: "failure",
+    EXIT_USAGE: "usage",
+    EXIT_INVALID: "invalid",
+    EXIT_DATA_CORRUPT: "data-corrupt",
+    EXIT_DEADLOCK: "deadlock",
+    EXIT_RANK_LOST: "rank-lost",
+    EXIT_EXHAUSTED: "exhausted",
+    EXIT_POISONED: "poisoned",
+    EXIT_NUMERICS: "numerics",
+    EXIT_OVERLOAD: "overload",
+}
+
+#: service failure kind -> exit code (see repro.service.workers).
+KIND_EXIT = {
+    "invalid": EXIT_INVALID,
+    "ckpt_corrupt": EXIT_DATA_CORRUPT,
+    "cache_corrupt": EXIT_DATA_CORRUPT,
+    "deadlock": EXIT_DEADLOCK,
+    "rank_crash": EXIT_RANK_LOST,
+    "worker_lost": EXIT_RANK_LOST,
+    "exhausted": EXIT_EXHAUSTED,
+    "poisoned": EXIT_POISONED,
+    "numerics": EXIT_NUMERICS,
+    "shed": EXIT_OVERLOAD,
+}
+
+
+def classify_exit(exc: BaseException) -> tuple[int, str]:
+    """Map an exception to ``(exit_code, name)``.
+
+    SPMD :class:`~repro.cluster.mpi_sim.WorldError` wrappers are
+    unwrapped to their most specific primary cause; unknown exceptions
+    classify as the generic failure code 1.
+    """
+    # Imports are deferred and guarded: classification must never be
+    # the thing that crashes a failing CLI.
+    from .analysis.sanitizer import NumericsViolationError
+    from .cluster.mpi_sim import DeadlockError, WorldError
+    from .cluster.procs import RankLostError
+    from .resilience.detect import CheckpointCorruptError
+    from .resilience.inject import InjectedRankCrash
+    from .resilience.recover import ResilienceExhaustedError
+
+    if isinstance(exc, ResilienceExhaustedError):
+        return EXIT_EXHAUSTED, NAMES[EXIT_EXHAUSTED]
+    if isinstance(exc, WorldError):
+        ranked = sorted(
+            (classify_exit(e) for e in
+             (exc.primary_failures or exc.failures).values()),
+            key=lambda ce: ce[0] == EXIT_FAILURE,  # specific codes first
+        )
+        if ranked:
+            return ranked[0]
+        return EXIT_FAILURE, NAMES[EXIT_FAILURE]
+
+    from .service.cache import CacheCorruptError
+    from .service.engine import JobFailedError, JobShedError
+    from .service.retry import PoisonedConfigError
+
+    checks: list[tuple[type, int]] = [
+        (PoisonedConfigError, EXIT_POISONED),
+        (JobShedError, EXIT_OVERLOAD),
+        (DeadlockError, EXIT_DEADLOCK),
+        (RankLostError, EXIT_RANK_LOST),
+        (InjectedRankCrash, EXIT_RANK_LOST),
+        (CheckpointCorruptError, EXIT_DATA_CORRUPT),
+        (CacheCorruptError, EXIT_DATA_CORRUPT),
+        (NumericsViolationError, EXIT_NUMERICS),
+        (JobFailedError, None),  # placeholder; resolved below
+        (ValueError, EXIT_INVALID),
+    ]
+    for typ, code in checks:
+        if isinstance(exc, typ):
+            if typ is JobFailedError:
+                code = KIND_EXIT.get(exc.kind, EXIT_FAILURE)
+            return code, NAMES[code]
+    return EXIT_FAILURE, NAMES[EXIT_FAILURE]

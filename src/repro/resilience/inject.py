@@ -129,6 +129,26 @@ class FaultInjector:
         with self._lock:
             return list(self._hits)
 
+    def reseed(self, salt) -> None:
+        """Re-derive the probabilistic fault streams for a retry attempt.
+
+        A retried job must not deterministically refire the same
+        probabilistic faults: each spec's RNG stream (and the bit-flip
+        stream) is re-derived from ``(plan.seed, spec index, salt)``.
+        Consumed-hit state is preserved -- ``max_hits``-bounded faults
+        stay spent -- and the physics seed (which lives in the request,
+        not the plan) is untouched, so the *result* of the retry is
+        still bit-identical to a fault-free run.
+        """
+        with self._lock:
+            self._rngs = [
+                random.Random(f"{self.plan.seed}:{i}:retry{salt}")
+                for i in range(len(self.plan.faults))
+            ]
+            self._flip_rng = random.Random(
+                f"{self.plan.seed}:bitflip:retry{salt}"
+            )
+
     def fire(self, kind: str, rank: int, step: int | None,
              target: str | None = None) -> bool:
         """Public firing check: consume a matching armed spec (bool).

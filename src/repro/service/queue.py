@@ -1,0 +1,130 @@
+"""Priority queue with admission control for the job service.
+
+Graceful degradation under load means the queue must never grow without
+bound: beyond ``max_pending`` ready jobs the service *parks* overflow
+(bounded holding area, admitted back as capacity frees) and beyond
+``park_capacity`` it *sheds* -- always the lowest-priority work, never
+by collapsing.  A newly offered high-priority job can displace the worst
+parked job (which is then shed) so priority inversion cannot wedge the
+parking lot.
+
+Priorities are ints, lower is more urgent; ties break FIFO by submission
+sequence.  The queue stores opaque job objects and never inspects them
+beyond the ``(priority, seq)`` pair handed in.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+
+
+class AdmissionQueue:
+    """Bounded two-stage priority queue: ready heap + parking lot."""
+
+    def __init__(self, max_pending: int = 64, park_capacity: int = 64):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if park_capacity < 0:
+            raise ValueError("park_capacity must be >= 0")
+        self.max_pending = max_pending
+        self.park_capacity = park_capacity
+        self._lock = threading.Lock()
+        self._ready: list = []   #: heap of (priority, seq, job)
+        self._parked: list = []  #: heap of (-priority, -seq, ...) worst-first
+        self.parked_total = 0
+        self.shed_total = 0
+
+    # -- introspection ----------------------------------------------------
+
+    def ready_count(self) -> int:
+        with self._lock:
+            return len(self._ready)
+
+    def parked_count(self) -> int:
+        with self._lock:
+            return len(self._parked)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ready) + len(self._parked)
+
+    # -- admission --------------------------------------------------------
+
+    def offer(self, priority: int, seq: int, job):
+        """Admit a new job; returns ``(decision, shed_job)``.
+
+        ``decision`` is ``"queued"``, ``"parked"`` or ``"shed"``;
+        ``shed_job`` is the *displaced* parked job when a higher-priority
+        offer bumped it out (the caller must fail it), else ``None``.
+        A ``"shed"`` decision means the offered job itself was refused.
+        """
+        with self._lock:
+            if len(self._ready) < self.max_pending:
+                heapq.heappush(self._ready, (priority, seq, job))
+                return "queued", None
+            if len(self._parked) < self.park_capacity:
+                heapq.heappush(self._parked, (-priority, -seq, job))
+                self.parked_total += 1
+                return "parked", None
+            # Full house: shed the lowest-priority work.  The parked
+            # heap is worst-first, so its head is the displacement
+            # candidate.
+            if self._parked:
+                worst_pri = -self._parked[0][0]
+                if priority < worst_pri:
+                    _, nseq, displaced = heapq.heapreplace(
+                        self._parked, (-priority, -seq, job)
+                    )
+                    self.parked_total += 1
+                    self.shed_total += 1
+                    return "parked", displaced
+            self.shed_total += 1
+            return "shed", None
+
+    def requeue(self, priority: int, seq: int, job) -> None:
+        """Re-admit an already-admitted job (retry); bypasses admission.
+
+        Retries never re-enter admission control: the job already holds
+        a slot, and shedding it mid-retry would turn transient faults
+        into dropped work.
+        """
+        with self._lock:
+            heapq.heappush(self._ready, (priority, seq, job))
+
+    # -- dispatch ---------------------------------------------------------
+
+    def pop(self):
+        """The most urgent ready job, or ``None``; promotes parked work.
+
+        Popping frees a ready slot, so the best parked job (smallest
+        priority) is promoted into it in the same critical section.
+        """
+        with self._lock:
+            if not self._ready:
+                return None
+            _, _, job = heapq.heappop(self._ready)
+            self._promote_locked()
+            return job
+
+    def _promote_locked(self) -> None:
+        # The parked heap is worst-first (for displacement); promotion
+        # wants the *best* parked job, so scan for the minimum.  Parking
+        # lots are bounded and small; O(n) is fine here.
+        while self._parked and len(self._ready) < self.max_pending:
+            best = min(
+                range(len(self._parked)),
+                key=lambda i: (-self._parked[i][0], -self._parked[i][1]),
+            )
+            npri, nseq, parked = self._parked.pop(best)
+            heapq.heapify(self._parked)
+            heapq.heappush(self._ready, (-npri, -nseq, parked))
+
+    def drain(self) -> list:
+        """Remove and return every queued/parked job (shutdown path)."""
+        with self._lock:
+            jobs = [j for _, _, j in self._ready]
+            jobs.extend(j for _, _, j in self._parked)
+            self._ready.clear()
+            self._parked.clear()
+            return jobs

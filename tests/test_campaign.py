@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cluster.driver import Simulation
+from repro.resilience import FaultPlan, FaultSpec
 from repro.sim.campaign import Campaign
 from repro.sim.cloud import Bubble
 from repro.sim.config import SimulationConfig
@@ -70,3 +71,92 @@ class TestSegmentedEquivalence:
         result = campaign.run(total_steps=3, segment_steps=10)
         np.testing.assert_array_equal(result.final_field, full.final_field)
         assert len(result.segments) == 1
+
+
+class TestCampaignHardening:
+    def test_segment_statuses_recorded(self, tmp_path):
+        campaign = Campaign(base_config(), IC, str(tmp_path))
+        result = campaign.run(total_steps=4, segment_steps=2)
+        assert result.ok
+        assert result.error is None
+        assert [s.status for s in result.segments] == ["ok", "ok"]
+        assert [s.attempts for s in result.segments] == [1, 1]
+        assert result.completed_steps == 4
+
+    def test_failed_segment_retries_from_last_checkpoint(self, tmp_path):
+        # One crash addressed inside segment 2; the campaign must retry
+        # the segment from the boundary checkpoint and stay bit-exact.
+        full = Simulation(base_config(max_steps=6), IC).run()
+        plan = FaultPlan(seed=21, faults=[
+            FaultSpec(kind="rank_crash", step=4, max_hits=1),
+        ])
+        campaign = Campaign(base_config(), IC, str(tmp_path),
+                            max_segment_retries=2, fault_plan=plan)
+        result = campaign.run(total_steps=6, segment_steps=2)
+        assert result.ok
+        assert [s.status for s in result.segments] == \
+            ["ok", "retried", "ok"]
+        assert result.segments[1].attempts == 2
+        np.testing.assert_array_equal(result.final_field, full.final_field)
+        assert [r.step for r in result.records] == [1, 2, 3, 4, 5, 6]
+        np.testing.assert_allclose(
+            result.series("max_pressure"), full.series("max_pressure"),
+            rtol=1e-12,
+        )
+
+    def test_exhausted_segment_returns_partial_result(self, tmp_path):
+        # An unlimited crash in segment 2 exhausts the retry budget; the
+        # campaign keeps segment 1's results instead of losing them.
+        plan = FaultPlan(seed=22, faults=[
+            FaultSpec(kind="rank_crash", step=3, max_hits=0),
+        ])
+        campaign = Campaign(base_config(), IC, str(tmp_path),
+                            max_segment_retries=1, fault_plan=plan)
+        result = campaign.run(total_steps=6, segment_steps=2)
+        assert not result.ok
+        assert "segment 1" in result.error
+        assert [s.status for s in result.segments] == ["ok", "failed"]
+        assert result.segments[1].attempts == 2
+        assert result.completed_steps == 2
+        assert [r.step for r in result.records] == [1, 2]
+        # The partial field matches the uninterrupted run at step 2.
+        ref = Simulation(base_config(max_steps=2), IC).run()
+        np.testing.assert_array_equal(result.final_field, ref.final_field)
+
+    def test_no_retries_by_default(self, tmp_path):
+        plan = FaultPlan(seed=23, faults=[
+            FaultSpec(kind="rank_crash", step=1, max_hits=1),
+        ])
+        campaign = Campaign(base_config(), IC, str(tmp_path),
+                            fault_plan=plan)
+        result = campaign.run(total_steps=2, segment_steps=2)
+        assert not result.ok
+        assert result.segments[0].attempts == 1
+
+    def test_engine_campaign_requires_icspec(self, tmp_path):
+        with pytest.raises(ValueError, match="ICSpec"):
+            Campaign(base_config(), IC, str(tmp_path), engine=object())
+
+    @pytest.mark.tier2
+    def test_engine_fanout_matches_inline(self, tmp_path):
+        from repro.service import ICSpec, JobEngine, ServiceConfig
+
+        spec = ICSpec("cloud_collapse",
+                      {"bubbles": [[0.5, 0.5, 0.5, 0.2]],
+                       "p_liquid": 1000.0})
+        inline = Campaign(base_config(), IC,
+                          str(tmp_path / "inline")).run(4, 2)
+        svc = ServiceConfig(workers=1, workdir=str(tmp_path / "svc"))
+        with JobEngine(svc) as engine:
+            campaign = Campaign(base_config(), spec,
+                                str(tmp_path / "seg"), engine=engine)
+            result = campaign.run(total_steps=4, segment_steps=2)
+        assert result.ok
+        np.testing.assert_array_equal(result.final_field,
+                                      inline.final_field)
+        assert [r.step for r in result.records] == \
+            [r.step for r in inline.records]
+        np.testing.assert_allclose(
+            result.series("max_pressure"), inline.series("max_pressure"),
+            rtol=1e-12,
+        )

@@ -87,3 +87,75 @@ class TestCommands:
         path = tmp_path / "bad.npy"
         np.save(path, np.zeros((4, 4)))
         assert main(["compress", str(path)]) == 2
+
+
+class TestServiceCLI:
+    """submit / serve subcommands and the exit-code taxonomy."""
+
+    @staticmethod
+    def _key(out: str) -> str:
+        line = [ln for ln in out.splitlines() if ln.startswith("key: ")][-1]
+        return line.split("key: ", 1)[1]
+
+    def test_submit_prints_job_line_and_key(self, capsys):
+        assert main(["submit", "--cells", "16", "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out.splitlines()[0])
+        assert doc["request"]["semantic"]["schema"] == "repro.job/v1"
+        key = self._key(out)
+        assert len(key) == 64 and int(key, 16) >= 0
+
+    def test_submit_key_is_content_addressed(self, capsys):
+        # Same semantics -> same key; different physics -> different key;
+        # a runtime-only change (ranks) must NOT change the key.
+        main(["submit"])
+        base = self._key(capsys.readouterr().out)
+        main(["submit"])
+        assert self._key(capsys.readouterr().out) == base
+        main(["submit", "--pressure", "500"])
+        assert self._key(capsys.readouterr().out) != base
+        main(["submit", "--ranks", "2", "--cluster-backend", "procs"])
+        assert self._key(capsys.readouterr().out) == base
+
+    def test_submit_appends_jsonl(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.jsonl"
+        main(["submit", "--out", str(jobs)])
+        main(["submit", "--pressure", "500", "--out", str(jobs)])
+        lines = jobs.read_text().splitlines()
+        assert len(lines) == 2
+        assert all("request" in json.loads(ln) for ln in lines)
+
+    def test_invalid_config_exits_64(self, capsys):
+        # 17^3 cells cannot be tiled by any supported block size.
+        rc = main(["submit", "--cells", "17"])
+        assert rc == 64
+        assert "error[invalid]" in capsys.readouterr().err
+
+    def test_missing_jobs_file_exits_failure(self, capsys):
+        rc = main(["serve", "definitely-not-here.jsonl"])
+        assert rc == 1
+        assert "error[failure]" in capsys.readouterr().err
+
+    @pytest.mark.tier2
+    def test_submit_serve_round_trip(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs.jsonl"
+        health = tmp_path / "health.json"
+        common = ["--cells", "16", "--steps", "2", "--out", str(jobs)]
+        main(["submit", *common])
+        main(["submit", *common])  # duplicate: must dedup, not recompute
+        main(["submit", "--pressure", "500", *common])
+        capsys.readouterr()
+        serve = ["serve", str(jobs), "--workers", "1",
+                 "--workdir", str(tmp_path / "work"),
+                 "--health-out", str(health)]
+        assert main(serve) == 0
+        out = capsys.readouterr().out
+        assert "service scorecard" in out
+        snap = json.loads(health.read_text())
+        assert snap["counters"]["computed"] == 2
+        assert snap["counters"]["dedup_joined"] == 1
+        # Re-serving the same batch is served from the persistent cache.
+        assert main(serve) == 0
+        snap = json.loads(health.read_text())
+        assert snap["counters"]["computed"] == 0
+        assert snap["counters"]["cache_hits"] == 3

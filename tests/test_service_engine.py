@@ -1,0 +1,195 @@
+"""Integration tests of the job engine over real worker processes.
+
+Worker pools spawn real processes (~1 s import cost each), so jobs here
+are tiny (16^3 cells, a handful of steps) and engines are scoped tightly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.driver import Simulation
+from repro.resilience import FaultPlan, FaultSpec
+from repro.service import (
+    BackoffPolicy,
+    ICSpec,
+    JobEngine,
+    JobRequest,
+    JobShedError,
+    PoisonedConfigError,
+    ServiceClosedError,
+    ServiceConfig,
+    health_snapshot,
+)
+from repro.sim import SimulationConfig
+
+pytestmark = pytest.mark.tier2
+
+IC = ICSpec("uniform", {"rho": 1000.0, "p": 100.0})
+
+
+def make_request(**overrides):
+    kw = dict(cells=16, block_size=8, max_steps=3, diag_interval=1)
+    kw.update(overrides)
+    return JobRequest(config=SimulationConfig(**kw), ic=IC)
+
+
+def fast_backoff(attempts=3):
+    return BackoffPolicy(max_attempts=attempts, base_delay=0.05,
+                         max_delay=0.2)
+
+
+def reference_field(request: JobRequest):
+    return Simulation(request.config, request.ic.build()).run().final_field
+
+
+class TestEngineBasics:
+    def test_compute_dedup_and_cache(self, tmp_path):
+        req = make_request()
+        other = make_request(max_steps=2)
+        svc = ServiceConfig(workers=2, workdir=str(tmp_path / "w"))
+        with JobEngine(svc) as engine:
+            h1 = engine.submit(req)
+            h_dup = engine.submit(req)   # in-flight duplicate: dedup
+            h2 = engine.submit(other)
+            r1 = h1.result(timeout=180)
+            r_dup = h_dup.result(timeout=180)
+            r2 = h2.result(timeout=180)
+            # Single-flight: the duplicate shared the computation.
+            assert engine.counters["computed"] == 2
+            assert engine.counters["dedup_joined"] == 1
+            assert r_dup.payload is r1.payload
+            # Terminal duplicate: served from the CRC-verified cache.
+            h3 = engine.submit(req)
+            r3 = h3.result(timeout=10)
+            assert r3.cached
+            assert engine.counters["cache_hits"] == 1
+            np.testing.assert_array_equal(r3.final_field, r1.final_field)
+            assert r1.key != r2.key
+            assert engine.cache.entries() == 2
+        np.testing.assert_array_equal(r1.final_field, reference_field(req))
+
+    def test_admission_sheds_under_overload(self, tmp_path):
+        svc = ServiceConfig(workers=1, workdir=str(tmp_path / "w"),
+                            max_pending=1, park_capacity=0)
+        reqs = [make_request(max_steps=n) for n in (4, 2, 3)]
+        with JobEngine(svc) as engine:
+            h1 = engine.submit(reqs[0])
+            deadline = time.monotonic() + 60
+            while h1.status != "running" and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert h1.status == "running"
+            h2 = engine.submit(reqs[1])  # takes the one ready slot
+            h3 = engine.submit(reqs[2])  # no slot, no parking: shed
+            assert h3.status == "shed"
+            with pytest.raises(JobShedError):
+                h3.result(timeout=5)
+            assert h1.result(timeout=180).final_field is not None
+            assert h2.result(timeout=180).final_field is not None
+            assert engine.counters["shed"] == 1
+            assert engine.queue.shed_total == 1
+
+    def test_closed_engine_rejects_submits(self, tmp_path):
+        svc = ServiceConfig(workers=1, workdir=str(tmp_path / "w"))
+        engine = JobEngine(svc).start()
+        engine.shutdown(drain=True)
+        with pytest.raises(ServiceClosedError):
+            engine.submit(make_request())
+
+    def test_health_snapshot_schema(self, tmp_path):
+        svc = ServiceConfig(workers=1, workdir=str(tmp_path / "w"))
+        with JobEngine(svc) as engine:
+            engine.submit(make_request(max_steps=1)).result(timeout=180)
+            snap = health_snapshot(engine)
+        assert snap["schema"] == "repro.service_health/v1"
+        assert snap["counters"]["computed"] == 1
+        assert snap["cache"]["entries"] == 1
+        assert snap["breaker"]["open_keys"] == []
+        assert len(snap["workers"]) == 1
+        assert snap["jobs"]["by_status"]["done_computed"] == 1
+        import json
+
+        json.dumps(snap)  # must be JSON-able for --health-out / CI
+
+
+class TestEngineChaos:
+    def test_sigkill_retry_is_bit_identical(self, tmp_path):
+        req = make_request(max_steps=4)
+        plan = FaultPlan(seed=7, faults=[
+            FaultSpec(kind="rank_crash", step=3, max_hits=1),
+        ])
+        svc = ServiceConfig(workers=1, workdir=str(tmp_path / "w"),
+                            backoff=fast_backoff())
+        with JobEngine(svc) as engine:
+            handle = engine.submit(req, fault_plan=plan)
+            result = handle.result(timeout=180)
+            # The worker was really SIGKILLed and the job retried on a
+            # fresh worker; the consumed kill did not refire.
+            assert result.attempts == 2
+            assert engine.counters["kills_delivered"] == 1
+            assert engine.counters["retries"] == 1
+            assert engine.pool.restarts >= 1
+            assert engine.failures_by_kind.get("rank_crash") == 1
+        np.testing.assert_array_equal(result.final_field,
+                                      reference_field(req))
+
+    def test_checkpoint_resume_retry_is_bit_identical(self, tmp_path):
+        req = make_request(max_steps=6)
+        plan = FaultPlan(seed=9, faults=[
+            FaultSpec(kind="rank_crash", step=5, max_hits=1),
+        ])
+        svc = ServiceConfig(workers=1, workdir=str(tmp_path / "w"),
+                            checkpoint_interval=2, backoff=fast_backoff())
+        with JobEngine(svc) as engine:
+            result = engine.submit(req, fault_plan=plan).result(timeout=180)
+            assert result.attempts == 2
+            # Resumed from the newest verified checkpoint, not scratch:
+            # the recorded series starts mid-run ...
+            assert result.payload["first_recorded_step"] > 1
+        # ... and the final field is still bit-identical.
+        np.testing.assert_array_equal(result.final_field,
+                                      reference_field(req))
+
+    def test_timeout_kill_and_recovery(self, tmp_path):
+        req = make_request(max_steps=4)
+        plan = FaultPlan(seed=8, faults=[
+            FaultSpec(kind="straggler", step=2, delay=30.0, max_hits=1),
+        ])
+        svc = ServiceConfig(workers=1, workdir=str(tmp_path / "w"),
+                            job_timeout=4.0, backoff=fast_backoff())
+        with JobEngine(svc) as engine:
+            result = engine.submit(req, fault_plan=plan).result(timeout=180)
+            # The stalled attempt was killed at its deadline; the stall
+            # was consumed parent-side so the retry ran clean.
+            assert result.attempts == 2
+            assert engine.counters["timeouts"] == 1
+            assert engine.failures_by_kind.get("timeout") == 1
+        np.testing.assert_array_equal(result.final_field,
+                                      reference_field(req))
+
+    def test_breaker_quarantines_poison_config(self, tmp_path):
+        req = make_request(max_steps=2)
+        poison = FaultPlan(seed=10, faults=[
+            FaultSpec(kind="rank_crash", step=1, max_hits=0),  # unlimited
+        ])
+        svc = ServiceConfig(workers=2, workdir=str(tmp_path / "w"),
+                            breaker_threshold=2,
+                            backoff=fast_backoff(attempts=5))
+        with JobEngine(svc) as engine:
+            handle = engine.submit(req, fault_plan=poison)
+            with pytest.raises(PoisonedConfigError) as exc_info:
+                handle.result(timeout=180)
+            assert handle.status == "poisoned"
+            # Opened within K attempts, corroborated by distinct workers.
+            assert len(set(exc_info.value.workers)) == 2
+            assert handle.attempts <= 2
+            assert engine.counters["breaker_opened"] == 1
+            # Fail-fast: resubmitting the quarantined key never runs.
+            h2 = engine.submit(req)
+            with pytest.raises(PoisonedConfigError):
+                h2.result(timeout=5)
+            assert h2.attempts == 0
+            assert engine.counters["poisoned"] == 2
