@@ -32,6 +32,14 @@ Three parts:
   performance analyzer (rules CP001..CP006, ``python -m repro.analysis
   --perf``) that certifies the declared hot-path kernels for compiled
   backends and emits the machine-readable ``kernel_manifest.json``.
+* :mod:`repro.analysis.syscheck` -- **sys-check**, a static
+  resource-lifecycle and process-safety analyzer for the multi-process
+  layers (rules RS001..RS007, ``python -m repro.analysis --sys``), plus
+  :class:`ResourceLedger`, the runtime leak sanitizer the test suite
+  wraps around every cluster/service/chaos test.
+
+``python -m repro.analysis --all`` runs all four static families in one
+pass and emits a single merged report with a worst-of exit code.
 
 See ``docs/analysis.md`` for the full rule catalogue and usage.
 """
@@ -68,6 +76,14 @@ from .perfcheck import (
 )
 from .perfcheck import check_paths as perf_check_paths
 from .perfcheck import check_sources as perf_check_sources
+from .syscheck import (
+    LeakError,
+    ResourceLedger,
+    SysReport,
+    registered_sys_rules,
+)
+from .syscheck import check_paths as sys_check_paths
+from .syscheck import check_sources as sys_check_sources
 from .sanitizer import (
     POLICIES,
     NumericsSanitizer,
@@ -98,6 +114,12 @@ __all__ = [
     "perf_check_sources",
     "registered_perf_rules",
     "write_kernel_manifest",
+    "LeakError",
+    "ResourceLedger",
+    "SysReport",
+    "registered_sys_rules",
+    "sys_check_paths",
+    "sys_check_sources",
     "LintConfig",
     "Rule",
     "SourceFile",

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import ast
 import json
+import os
 from pathlib import Path
 
 from ..lint import Violation
@@ -148,10 +149,18 @@ def build_kernel_manifest(
 def write_kernel_manifest(
     program: PerfProgram, report: PerfReport, path: str | Path
 ) -> dict:
-    """Write ``kernel_manifest.json``; returns the payload."""
+    """Write ``kernel_manifest.json`` atomically; returns the payload.
+
+    The manifest gates CI (drift check), so a crash mid-write must
+    never leave a torn file: write to a sibling tmp, fsync, then
+    ``os.replace`` into place.
+    """
     payload = build_kernel_manifest(program, report)
-    Path(path).write_text(
-        json.dumps(payload, indent=2, sort_keys=False) + "\n",
-        encoding="utf-8",
-    )
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, target)
     return payload

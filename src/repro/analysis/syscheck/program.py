@@ -1,0 +1,785 @@
+"""Whole-program resource/process facts for the RS rules.
+
+Mirrors the comm-check extraction strategy
+(:mod:`repro.analysis.concurrency.commcheck`): parse every source into
+the shared :class:`~repro.analysis.lint.SourceFile`, build a
+program-wide function table, then compute per-function *facts* --
+resource acquisitions with their release/escape structure, lockset
+regions with the calls they cover, blocking-call sites, spawn targets
+and durable-write sites.  The rules in
+:mod:`repro.analysis.syscheck.rules` are thin pattern matches over
+these facts.
+
+Bounded like comm-check: one level of helper substitution (a helper
+that *returns* a resource it created makes its call sites
+acquisitions; a callee whose body blocks makes its call sites
+blocking), resolved through the call graph by bare name with a
+receiver-text hint for generic names (``self.cache.get`` resolves to
+``ResultCache.get``; ``self._jobs.get`` -- a dict -- resolves to
+nothing).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..lint import SourceFile
+from .model import (
+    BLOCKING_ATTRS,
+    BLOCKING_CALLS,
+    BLOCKING_PATH_IO,
+    EAGER_KINDS,
+    GENERIC_NAMES,
+    LOCKLIKE_HINTS,
+    QUEUE_RECEIVER_SUFFIXES,
+    RELEASERS,
+    RESOURCE_CTORS,
+    WAIT_ATTRS,
+    WITH_RELEASED_KINDS,
+)
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While)
+_COMP_NODES = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _dotted(node: ast.AST) -> str:
+    """``a.b.c`` for Name/Attribute chains, '' for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _callee_bare(call: ast.Call) -> str:
+    """Last path component of the called expression ('' if exotic)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _ctor_kind(call: ast.Call) -> str | None:
+    return RESOURCE_CTORS.get(_callee_bare(call))
+
+
+def _kw(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _is_true(node: ast.expr | None) -> bool:
+    return isinstance(node, ast.Constant) and node.value is True
+
+
+def _locklike(expr: ast.expr) -> str | None:
+    """Source text of a lock-acquiring ``with`` item, else ``None``."""
+    if isinstance(expr, ast.Call) and _callee_bare(expr) == "get_lock":
+        return _dotted(expr.func.value) + ".get_lock()"
+    text = _dotted(expr)
+    low = text.lower()
+    if text and any(h in low for h in LOCKLIKE_HINTS):
+        return text
+    return None
+
+
+def _blocking_reason(call: ast.Call, held: frozenset = frozenset()) -> str | None:
+    """Why this call blocks the calling thread, or ``None``.
+
+    ``held`` is the set of held lock texts: waiting on the held lock
+    itself (``with cv: cv.wait()``) releases it and is exempt.
+    """
+    dotted = _dotted(call.func)
+    bare = _callee_bare(call)
+    if dotted in BLOCKING_CALLS or (not isinstance(call.func, ast.Attribute)
+                                    and bare in ("open", "sleep")):
+        return f"{dotted or bare}() is blocking IO"
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    attr = call.func.attr
+    recv_node = call.func.value
+    recv = _dotted(recv_node)
+    if attr in BLOCKING_ATTRS:
+        # ", ".join(...) / os.path.join(...) are not thread joins.
+        if attr == "join" and (
+            isinstance(recv_node, ast.Constant)
+            or recv.endswith("path")
+            or recv in ("os", "posixpath", "ntpath")
+        ):
+            return None
+        return f".{attr}() blocks until the peer yields"
+    if attr in WAIT_ATTRS:
+        if recv and recv in held:
+            return None  # condition wait releases the held lock
+        return f".{attr}() parks the calling thread"
+    if attr == "get" and not attr.endswith("nowait"):
+        low = recv.lower()
+        if low.endswith(QUEUE_RECEIVER_SUFFIXES):
+            return ".get() blocks on an empty queue"
+    if attr in BLOCKING_PATH_IO:
+        return f".{attr}() is file IO"
+    return None
+
+
+def _branch_arms(node: ast.AST, stop: ast.AST,
+                 parents: dict, var: str | None = None) -> frozenset:
+    """Branch arms between ``node`` and ``stop`` (exclusive).
+
+    Each arm is ``(id(ancestor), field)`` for If bodies/orelse, except
+    handlers, loop bodies and Try orelse -- the constructs a statement
+    may not reach.  An ``if`` whose test mentions ``var`` (the
+    ``if handle is not None: handle.close()`` idiom) is not counted.
+    """
+    arms = set()
+    child = node
+    cur = parents.get(node)
+    while cur is not None and cur is not stop:
+        fields = ()
+        if isinstance(cur, ast.If):
+            fields = ("body", "orelse")
+        elif isinstance(cur, ast.ExceptHandler):
+            fields = ("body",)
+        elif isinstance(cur, _LOOP_NODES):
+            fields = ("body", "orelse")
+        elif isinstance(cur, ast.Try):
+            fields = ("orelse",)
+        for f in fields:
+            if child in getattr(cur, f, []):
+                guarded = (
+                    var is not None
+                    and isinstance(cur, ast.If)
+                    and any(isinstance(n, ast.Name) and n.id == var
+                            for n in ast.walk(cur.test))
+                )
+                if not guarded:
+                    arms.add((id(cur), f))
+        child = cur
+        cur = parents.get(cur)
+    return frozenset(arms)
+
+
+def _enclosing_stmt(node: ast.AST, parents: dict) -> ast.stmt | None:
+    cur = node
+    while cur is not None and not isinstance(cur, ast.stmt):
+        cur = parents.get(cur)
+    return cur
+
+
+@dataclass
+class Release:
+    node: ast.AST
+    line: int
+    method: str
+    covered_by_finally: bool = False  # finally of a try enclosing the acquire
+    finally_after_acq: bool = False   # finally of a try *after* the acquire
+    guard_try: ast.Try | None = None
+    conditional: bool = False
+
+
+@dataclass
+class Acquisition:
+    var: str | None
+    kind: str
+    call: ast.Call
+    stmt: ast.stmt
+    create: bool = False        # SharedMemory(..., create=True)
+    daemon: bool | None = None  # Thread daemon flag (ctor or attr set)
+    started: bool = False       # .start() seen (process/thread kinds)
+    escaped: bool = False
+    discarded: bool = False     # bare-expression acquire, never bound
+    bulk: bool = False          # constructed inside a loop/comprehension
+    bulk_guarded: bool = False  # ... whose enclosing try releases handles
+    from_helper: str | None = None
+    releases: list[Release] = field(default_factory=list)
+
+
+@dataclass
+class LockedCall:
+    call: ast.Call
+    held: frozenset  # lock texts
+
+
+@dataclass
+class FuncInfo:
+    path: str
+    name: str
+    qualname: str
+    class_name: str | None
+    node: ast.AST
+    module_level: bool
+    # -- facts (filled by the analysis passes) --
+    acquisitions: list[Acquisition] = field(default_factory=list)
+    locked_calls: list[LockedCall] = field(default_factory=list)
+    blocking_direct: list[tuple] = field(default_factory=list)
+    spawn_sites: list[ast.Call] = field(default_factory=list)
+    write_opens: list[ast.Call] = field(default_factory=list)
+    path_writes: list[ast.Call] = field(default_factory=list)
+    calls_fsync: bool = False
+    calls_replace: bool = False
+    has_any_join: bool = False
+    #: kinds of resources this function creates and hands to its caller
+    returned_kinds: frozenset = frozenset()
+    returns_started_thread: bool = False
+
+
+class SysProgram:
+    """Parsed sources plus the program-wide fact tables."""
+
+    def __init__(self, sources: dict[str, SourceFile]):
+        self.sources = sources
+        #: bare name -> [FuncInfo] across every file
+        self.functions: dict[str, list[FuncInfo]] = {}
+        #: path -> module-level names bound to mutable literals
+        self.module_mutables: dict[str, set] = {}
+        #: path -> SharedMemory facts for RS002
+        self.shm_creates: dict[str, list[ast.Call]] = {}
+        self.shm_attaches: dict[str, list[ast.Call]] = {}
+        self.shm_unlinks: dict[str, list[ast.AST]] = {}
+        self._infos: list[FuncInfo] = []
+        self._parents: dict[str, dict] = {}
+        for path in sorted(sources):
+            self._extract(path, sources[path])
+        # Pass 1: direct facts (needed before helper substitution can
+        # resolve resource-returning callees in any order).
+        for info in self._infos:
+            self._analyze_direct(info)
+            self._returned_resources(info)
+        # Pass 2: one-level helper substitution + lockset regions.
+        for info in self._infos:
+            self._analyze_helpers(info)
+            self._find_locked_calls(info)
+        self._bearing = self._compute_bearing()
+
+    # -- extraction ---------------------------------------------------
+
+    def _extract(self, path: str, src: SourceFile) -> None:
+        parents = src.parents()
+        self._parents[path] = parents
+        mutables = set()
+        for stmt in src.tree.body:
+            if isinstance(stmt, ast.Assign) and isinstance(
+                stmt.value, (ast.Dict, ast.List, ast.Set)
+            ):
+                for t in stmt.targets:
+                    if isinstance(t, ast.Name):
+                        mutables.add(t.id)
+        self.module_mutables[path] = mutables
+        creates, attaches, unlinks = [], [], []
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Call):
+                if _callee_bare(node) == "SharedMemory":
+                    if _is_true(_kw(node, "create")):
+                        creates.append(node)
+                    else:
+                        attaches.append(node)
+                elif (isinstance(node.func, ast.Attribute)
+                      and node.func.attr == "unlink"
+                      and _dotted(node.func.value)):
+                    unlinks.append(node)
+            if isinstance(node, _FUNC_NODES):
+                cls = parents.get(node)
+                class_name = cls.name if isinstance(cls, ast.ClassDef) else None
+                enclosing = parents.get(node)
+                nested = False
+                while enclosing is not None:
+                    if isinstance(enclosing, _FUNC_NODES):
+                        nested = True
+                        break
+                    enclosing = parents.get(enclosing)
+                qual = f"{class_name}.{node.name}" if class_name else node.name
+                info = FuncInfo(
+                    path=path, name=node.name, qualname=qual,
+                    class_name=class_name, node=node,
+                    module_level=not nested,
+                )
+                self._infos.append(info)
+                self.functions.setdefault(node.name, []).append(info)
+        self.shm_creates[path] = creates
+        self.shm_attaches[path] = attaches
+        self.shm_unlinks[path] = unlinks
+
+    # -- per-function facts --------------------------------------------
+
+    def infos(self) -> list[FuncInfo]:
+        return list(self._infos)
+
+    def parents_of(self, info: FuncInfo) -> dict:
+        return self._parents[info.path]
+
+    def _own_nodes(self, fn: ast.AST):
+        """Walk ``fn`` skipping nested function/lambda bodies."""
+        stack = list(ast.iter_child_nodes(fn))
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(node, _FUNC_NODES + (ast.Lambda,)):
+                stack.extend(ast.iter_child_nodes(node))
+
+    def _analyze_direct(self, info: FuncInfo) -> None:
+        parents = self._parents[info.path]
+        for node in self._own_nodes(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            reason = _blocking_reason(node)
+            if reason is not None:
+                info.blocking_direct.append((node, reason))
+            dotted = _dotted(node.func)
+            bare = _callee_bare(node)
+            if dotted == "os.fsync":
+                info.calls_fsync = True
+            if dotted in ("os.replace", "os.rename"):
+                info.calls_replace = True
+            if bare == "join":
+                info.has_any_join = True
+            if bare == "Process":
+                info.spawn_sites.append(node)
+            if bare == "open":
+                mode = (node.args[1] if len(node.args) > 1
+                        else _kw(node, "mode"))
+                if (isinstance(mode, ast.Constant)
+                        and isinstance(mode.value, str)
+                        and mode.value.startswith(("w", "x"))):
+                    info.write_opens.append(node)
+            if bare in ("write_text", "write_bytes"):
+                info.path_writes.append(node)
+        acqs: list[Acquisition] = []
+        for node in self._own_nodes(info.node):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if not isinstance(value, ast.Call):
+                    continue
+                kind = _ctor_kind(value)
+                if kind is None:
+                    continue
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                if len(targets) == 1 and isinstance(targets[0], ast.Name):
+                    daemon_kw = _kw(value, "daemon")
+                    acqs.append(Acquisition(
+                        var=targets[0].id, kind=kind, call=value, stmt=node,
+                        create=_is_true(_kw(value, "create")),
+                        daemon=(True if _is_true(daemon_kw)
+                                else (False if daemon_kw is not None
+                                      else None)),
+                    ))
+            elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                call = node.value
+                kind = _ctor_kind(call)
+                if kind in EAGER_KINDS:
+                    # `open(...)` / `SharedMemory(...)` never bound: the
+                    # handle is unreachable the moment it is created.
+                    acqs.append(Acquisition(
+                        var=None, kind=kind, call=call, stmt=node,
+                        discarded=True,
+                        create=_is_true(_kw(call, "create")),
+                    ))
+        for acq in acqs:
+            if acq.var is not None:
+                self._trace_var(info, acq, parents)
+            self._classify_bulk(info, acq, parents)
+        info.acquisitions = acqs
+
+    def _analyze_helpers(self, info: FuncInfo) -> None:
+        """One-level substitution of resource-returning local helpers."""
+        parents = self._parents[info.path]
+        extra: list[Acquisition] = []
+        for node in self._own_nodes(info.node):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if not isinstance(value, ast.Call) or _ctor_kind(value):
+                    continue
+                helper = self._resource_helper(value, info)
+                if helper is None:
+                    continue
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                names: list[str] = []
+                if len(targets) == 1 and isinstance(targets[0], ast.Name):
+                    names = [targets[0].id]
+                elif len(targets) == 1 and isinstance(targets[0], ast.Tuple):
+                    names = [e.id for e in targets[0].elts
+                             if isinstance(e, ast.Name)]
+                for hk in sorted(helper.returned_kinds):
+                    for name in names:
+                        extra.append(Acquisition(
+                            var=name, kind=hk, call=value, stmt=node,
+                            started=helper.returns_started_thread,
+                            from_helper=helper.qualname,
+                        ))
+            elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                call = node.value
+                if _ctor_kind(call):
+                    continue
+                helper = self._resource_helper(call, info)
+                if helper is not None and (
+                    helper.returned_kinds & EAGER_KINDS
+                    or helper.returns_started_thread
+                ):
+                    kinds = ",".join(sorted(helper.returned_kinds))
+                    extra.append(Acquisition(
+                        var=None, kind=kinds or "thread", call=call,
+                        stmt=node, discarded=True,
+                        started=helper.returns_started_thread,
+                        from_helper=helper.qualname,
+                    ))
+        for acq in extra:
+            if acq.var is not None:
+                self._trace_var(info, acq, parents)
+            self._classify_bulk(info, acq, parents)
+        info.acquisitions.extend(extra)
+
+    def _resource_helper(self, call: ast.Call, info: FuncInfo):
+        """The resource-returning local helper this call invokes, if any."""
+        target = self._resolve_callee(call, info)
+        if target is not None and (target.returned_kinds
+                                   or target.returns_started_thread):
+            return target
+        return None
+
+    def _trace_var(self, info: FuncInfo, acq: Acquisition,
+                   parents: dict) -> None:
+        fn = info.node
+        var = acq.var
+        releasers = RELEASERS.get(acq.kind, frozenset())
+        for node in self._own_nodes(fn):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                recv = node.func.value
+                if isinstance(recv, ast.Name) and recv.id == var:
+                    attr = node.func.attr
+                    if attr in releasers:
+                        acq.releases.append(self._release(node, acq, fn,
+                                                          parents, var))
+                    elif attr == "start":
+                        acq.started = True
+                    continue  # other method use: neutral, not an escape
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) \
+                    and node.value.id == var:
+                if node.attr == "daemon":
+                    # t.daemon = True before start()
+                    stmt = _enclosing_stmt(node, parents)
+                    if isinstance(stmt, ast.Assign) and _is_true(stmt.value):
+                        acq.daemon = True
+                continue
+            if isinstance(node, (ast.For, ast.AsyncFor)) and isinstance(
+                node.iter, ast.Name
+            ) and node.iter.id == var:
+                # `for h in handles:` + h.close()/h.unlink() releases the
+                # collection bound to `handles` (helper-returned bulk).
+                loop_var = (node.target.id
+                            if isinstance(node.target, ast.Name) else None)
+                if loop_var and any(
+                    isinstance(c, ast.Call)
+                    and isinstance(c.func, ast.Attribute)
+                    and c.func.attr in releasers
+                    and isinstance(c.func.value, ast.Name)
+                    and c.func.value.id == loop_var
+                    for b in node.body for c in ast.walk(b)
+                ):
+                    acq.releases.append(self._release(node, acq, fn,
+                                                      parents, var))
+                continue
+            if isinstance(node, ast.Name) and node.id == var and isinstance(
+                node.ctx, ast.Load
+            ):
+                if self._escapes(node, parents):
+                    acq.escaped = True
+        if acq.kind in WITH_RELEASED_KINDS:
+            for node in self._own_nodes(fn):
+                if isinstance(node, ast.With):
+                    for item in node.items:
+                        if isinstance(item.context_expr, ast.Name) \
+                                and item.context_expr.id == var:
+                            acq.releases.append(self._release(
+                                node, acq, fn, parents, var))
+
+    def _escapes(self, name: ast.Name, parents: dict) -> bool:
+        parent = parents.get(name)
+        # receiver of an attribute access (h.buf, h.close()): neutral
+        if isinstance(parent, ast.Attribute) and parent.value is name:
+            return False
+        # (h,), [h], {..: h}, h if cond else .. -- look through one level
+        if isinstance(parent, (ast.Tuple, ast.List, ast.Set, ast.Dict,
+                               ast.IfExp, ast.Starred)):
+            name, parent = parent, parents.get(parent)
+        if isinstance(parent, (ast.Call, ast.keyword)):
+            return True  # argument to any call transfers ownership
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom, ast.Raise)):
+            return True
+        if isinstance(parent, ast.Assign) and parent.value is name:
+            return True  # alias / attribute / subscript store
+        if isinstance(parent, ast.Subscript):
+            # d[h]: key use does not transfer; h[...] neither
+            return False
+        return False
+
+    def _release(self, node: ast.AST, acq: Acquisition, fn: ast.AST,
+                 parents: dict, var: str) -> Release:
+        rel = Release(node=node, line=node.lineno,
+                      method=getattr(getattr(node, "func", None), "attr",
+                                     "for-loop"))
+        cur = node
+        while cur is not None and cur is not fn:
+            parent = parents.get(cur)
+            if isinstance(parent, ast.Try) and cur in parent.finalbody:
+                try_node = parent
+                in_try = any(
+                    acq.stmt is s or any(acq.stmt is w for w in ast.walk(s))
+                    for s in try_node.body
+                )
+                if in_try:
+                    rel.covered_by_finally = True
+                elif acq.stmt.lineno < try_node.lineno:
+                    rel.finally_after_acq = True
+                    rel.guard_try = try_node
+                return rel
+            cur = parent
+        acq_arms = _branch_arms(acq.stmt, fn, parents)
+        rel_stmt = _enclosing_stmt(node, parents) or node
+        rel_arms = _branch_arms(rel_stmt, fn, parents, var=var)
+        rel.conditional = not rel_arms.issubset(acq_arms)
+        return rel
+
+    def _classify_bulk(self, info: FuncInfo, acq: Acquisition,
+                       parents: dict) -> None:
+        if acq.kind not in EAGER_KINDS:
+            return
+        cur = acq.call
+        loop = None
+        while cur is not None and cur is not info.node:
+            cur = parents.get(cur)
+            if isinstance(cur, _LOOP_NODES + _COMP_NODES):
+                loop = cur
+                break
+        if loop is None:
+            return
+        acq.bulk = True
+        releasers = RELEASERS.get(acq.kind, frozenset())
+        cur = loop
+        while cur is not None and cur is not info.node:
+            cur = parents.get(cur)
+            if isinstance(cur, ast.Try):
+                cleanup = list(cur.finalbody)
+                for h in cur.handlers:
+                    cleanup.extend(h.body)
+                for stmt in cleanup:
+                    for c in ast.walk(stmt):
+                        if (isinstance(c, ast.Call)
+                                and isinstance(c.func, ast.Attribute)
+                                and c.func.attr in releasers):
+                            acq.bulk_guarded = True
+                            return
+        # A helper-returned collection released by the caller inside a
+        # try/finally also counts as guarded at the acquiring side when
+        # the loop lives inside that same function's try.  (Handled
+        # above; nothing more to do here.)
+
+    def risky_between(self, info: FuncInfo, lo: int, hi: int,
+                      exclude_receiver: str | None = None) -> bool:
+        """Any call/raise/assert (a potential raise) on a line in (lo, hi)?
+
+        ``exclude_receiver`` skips method calls on that name: used for
+        process/thread handles, where ``h.start()`` raising means no OS
+        state was created and there is nothing to leak.
+        """
+        for node in self._own_nodes(info.node):
+            if not isinstance(node, (ast.Call, ast.Raise, ast.Assert)):
+                continue
+            if not lo < getattr(node, "lineno", lo) < hi:
+                continue
+            if (exclude_receiver is not None
+                    and isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == exclude_receiver):
+                continue
+            return True
+        return False
+
+    # .. locksets ......................................................
+
+    def _find_locked_calls(self, info: FuncInfo) -> None:
+        out: list[LockedCall] = []
+
+        def visit_expr(node: ast.AST, held: frozenset) -> None:
+            if isinstance(node, _FUNC_NODES + (ast.Lambda,)):
+                return
+            if isinstance(node, ast.Call) and held:
+                out.append(LockedCall(call=node, held=held))
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    continue
+                visit_expr(child, held)
+
+        def visit_stmt_fields(stmt: ast.stmt, held: frozenset) -> None:
+            if isinstance(stmt, _FUNC_NODES):
+                return
+            for _, value in ast.iter_fields(stmt):
+                if isinstance(value, list):
+                    if value and all(isinstance(x, ast.stmt) for x in value):
+                        visit_block(value, held)
+                    else:
+                        for item in value:
+                            if isinstance(item, ast.ExceptHandler):
+                                visit_block(item.body, held)
+                            elif isinstance(item, ast.AST):
+                                visit_expr(item, held)
+                elif isinstance(value, ast.AST):
+                    visit_expr(value, held)
+
+        def visit_block(stmts: list, held: frozenset) -> None:
+            span: set = set()
+            for stmt in stmts:
+                cur = held | frozenset(span)
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    texts = []
+                    for item in stmt.items:
+                        visit_expr(item.context_expr, cur)
+                        text = _locklike(item.context_expr)
+                        if text:
+                            texts.append(text)
+                    visit_block(stmt.body, cur | frozenset(texts))
+                    continue
+                if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call) \
+                        and isinstance(stmt.value.func, ast.Attribute):
+                    attr = stmt.value.func.attr
+                    recv = _dotted(stmt.value.func.value)
+                    if recv and any(h in recv.lower() for h in LOCKLIKE_HINTS):
+                        if attr == "acquire":
+                            span.add(recv)
+                            continue
+                        if attr == "release":
+                            span.discard(recv)
+                            continue
+                visit_stmt_fields(stmt, cur)
+
+        visit_block(list(info.node.body), frozenset())
+        info.locked_calls = out
+
+    # .. resource-returning helpers ....................................
+
+    def _returned_resources(self, info: FuncInfo) -> None:
+        kinds: set = set()
+        started = False
+        returned_names: set = set()
+        for node in self._own_nodes(info.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name):
+                        returned_names.add(sub.id)
+                    elif isinstance(sub, ast.Call):
+                        k = _ctor_kind(sub)
+                        if k is not None:
+                            kinds.add(k)
+        for acq in info.acquisitions:
+            if acq.var is None:
+                continue
+            direct = acq.var in returned_names
+            via_container = False
+            if not direct:
+                # h appended to a local list that is itself returned
+                for node in self._own_nodes(info.node):
+                    if (isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Attribute)
+                            and node.func.attr in ("append", "add")
+                            and isinstance(node.func.value, ast.Name)
+                            and node.func.value.id in returned_names
+                            and any(isinstance(a, ast.Name) and a.id == acq.var
+                                    for a in node.args)):
+                        via_container = True
+                        break
+            if direct or via_container:
+                kinds.add(acq.kind)
+                if acq.kind == "thread" and acq.started:
+                    started = True
+        info.returned_kinds = frozenset(kinds)
+        info.returns_started_thread = started
+
+    # -- call-graph resolution -----------------------------------------
+
+    def _hints(self, cand: FuncInfo) -> tuple:
+        stem = cand.path.rsplit("/", 1)[-1]
+        stem = stem[:-3] if stem.endswith(".py") else stem
+        hints = [stem.lower()]
+        if cand.class_name:
+            hints.append(cand.class_name.lower().lstrip("_"))
+        return tuple(hints)
+
+    def _resolve_callee(self, call: ast.Call, info: FuncInfo) -> FuncInfo | None:
+        bare = _callee_bare(call)
+        if not bare:
+            return None
+        cands = self.functions.get(bare, [])
+        if not cands:
+            return None
+        func = call.func
+        if isinstance(func, ast.Name):
+            same_file = [c for c in cands if c.path == info.path]
+            if len(same_file) == 1:
+                return same_file[0]
+            if len(cands) == 1 and bare not in GENERIC_NAMES:
+                return cands[0]
+            return None
+        recv = _dotted(func.value)
+        if recv == "self":
+            own = [c for c in cands if c.path == info.path
+                   and c.class_name == info.class_name]
+            if len(own) == 1:
+                return own[0]
+            return None
+        if bare not in GENERIC_NAMES:
+            if len(cands) == 1:
+                return cands[0]
+            same_file = [c for c in cands if c.path == info.path]
+            if len(same_file) == 1:
+                return same_file[0]
+            return None
+        # Generic name (`get`, `put`, ...): require the receiver text to
+        # name the defining module or class, so `self.cache.get` finds
+        # ResultCache.get while `self._jobs.get` (a dict) finds nothing.
+        low = recv.lower()
+        hinted = [c for c in cands
+                  if any(h and h in low for h in self._hints(c))]
+        if len(hinted) == 1:
+            return hinted[0]
+        return None
+
+    def _compute_bearing(self) -> dict:
+        """``id(FuncInfo) -> reason`` for every blocking-bearing function."""
+        bearing: dict[int, str] = {}
+        for info in self._infos:
+            if info.blocking_direct:
+                _, reason = info.blocking_direct[0]
+                bearing[id(info)] = reason
+        changed = True
+        while changed:
+            changed = False
+            for info in self._infos:
+                if id(info) in bearing:
+                    continue
+                for node in self._own_nodes(info.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    target = self._resolve_callee(node, info)
+                    if target is not None and id(target) in bearing:
+                        bearing[id(info)] = (
+                            f"calls {target.qualname}() which "
+                            f"{bearing[id(target)]}"
+                        )
+                        changed = True
+                        break
+        return bearing
+
+    def bearing_reason(self, target: FuncInfo) -> str | None:
+        return self._bearing.get(id(target))
+
+    def resolve(self, call: ast.Call, info: FuncInfo) -> FuncInfo | None:
+        return self._resolve_callee(call, info)

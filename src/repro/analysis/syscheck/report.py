@@ -1,0 +1,73 @@
+"""Report format of the resource-lifecycle analysis family.
+
+The static sys-check (:mod:`repro.analysis.syscheck.rules`) and the
+dynamic leak sanitizer (:mod:`repro.analysis.syscheck.ledger`) emit
+:class:`repro.analysis.lint.Violation` records under RS-series rule ids
+and accumulate them in a :class:`SysReport` -- the same
+``file:line:col: RULE message`` lines on the CLI, the same JSON payload
+in the CI artifact, and one ``summary()`` string on the run scorecard,
+regardless of which pass produced the finding.
+
+Rule-id convention: ``RS0xx`` are static (whole-program) findings,
+``RS1xx`` are dynamic (runtime ledger) findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lint import Violation
+
+
+@dataclass
+class SysReport:
+    """Accumulated resource-lifecycle findings of one analysis."""
+
+    violations: list[Violation] = field(default_factory=list)
+    checks_run: int = 0
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def by_rule(self) -> dict[str, int]:
+        """Returns violation counts keyed by RS rule id."""
+        out: dict[str, int] = {}
+        for v in self.violations:
+            out[v.rule] = out.get(v.rule, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        """Returns a one-line summary suitable for scorecards/CLI."""
+        if not self.violations:
+            return f"syscheck: clean ({self.checks_run} checks)"
+        parts = ", ".join(f"{k}={n}" for k, n in sorted(self.by_rule().items()))
+        return (
+            f"syscheck: {len(self.violations)} finding(s) in "
+            f"{self.checks_run} checks ({parts})"
+        )
+
+    def to_dict(self) -> dict:
+        """Returns a JSON-serializable payload (the CI report artifact)."""
+        return {
+            "checks_run": self.checks_run,
+            "findings": [
+                {
+                    "path": v.path,
+                    "line": v.line,
+                    "col": v.col,
+                    "rule": v.rule,
+                    "message": v.message,
+                }
+                for v in sorted(self.violations)
+            ],
+            "by_rule": self.by_rule(),
+        }
+
+    @classmethod
+    def merged(cls, reports: list["SysReport"]) -> "SysReport":
+        """Returns the union of several reports."""
+        out = cls()
+        for r in reports:
+            out.violations.extend(r.violations)
+            out.checks_run += r.checks_run
+        return out

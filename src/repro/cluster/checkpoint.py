@@ -159,6 +159,10 @@ def write_checkpoint(comm, path: str, field: np.ndarray,
         with open(tmp, "r+b") as f:
             f.seek(offset)
             f.write(payload)
+            f.flush()
+            # Durability before the rank-0 os.replace below: a rename
+            # is only atomic w.r.t. data that has reached the disk.
+            os.fsync(f.fileno())
     except (OSError, ValueError) as exc:
         ok = 0
         failure = exc

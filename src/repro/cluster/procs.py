@@ -447,23 +447,30 @@ class ProcsComm:
         self.bytes_sent = 0
         self.messages_sent = 0
         self._gen = 0  #: collective sequence number (per rank)
-        self._board = _StatusBoard(_attach(_board_name(spec.token)),
-                                   spec.size)
+        self._board: _StatusBoard | None = None
         self._out: dict[int, Ring] = {}
         self._in: dict[int, Ring] = {}
         self._streams: dict[int, bytearray] = {}
-        for peer in range(spec.size):
-            if peer == rank:
-                continue
-            self._out[peer] = Ring(
-                _attach(_ring_name(spec.token, rank, peer)),
-                spec.locks[(rank, peer)], spec.ring_bytes,
-            )
-            self._in[peer] = Ring(
-                _attach(_ring_name(spec.token, peer, rank)),
-                spec.locks[(peer, rank)], spec.ring_bytes,
-            )
-            self._streams[peer] = bytearray()
+        try:
+            self._board = _StatusBoard(_attach(_board_name(spec.token)),
+                                       spec.size)
+            for peer in range(spec.size):
+                if peer == rank:
+                    continue
+                self._out[peer] = Ring(
+                    _attach(_ring_name(spec.token, rank, peer)),
+                    spec.locks[(rank, peer)], spec.ring_bytes,
+                )
+                self._in[peer] = Ring(
+                    _attach(_ring_name(spec.token, peer, rank)),
+                    spec.locks[(peer, rank)], spec.ring_bytes,
+                )
+                self._streams[peer] = bytearray()
+        except BaseException:
+            # A mid-loop attach failure (e.g. the parent already tore
+            # the world down) must detach whatever was mapped so far.
+            self.close()
+            raise
         self._pending: list[_Frame] = []
 
     # -- plumbing ---------------------------------------------------------
@@ -696,10 +703,18 @@ class ProcsComm:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Detach from every shared segment (child-side cleanup)."""
+        """Detach from every shared segment (child-side cleanup).
+
+        Idempotent, and safe on a partially constructed comm (the
+        ``__init__`` error path calls it mid-attach).
+        """
         for ring in list(self._out.values()) + list(self._in.values()):
             ring._seg.close()
-        self._board._seg.close()
+        self._out.clear()
+        self._in.clear()
+        if self._board is not None:
+            self._board._seg.close()
+            self._board = None
 
 
 def _child_entry(rank: int, spec: WorldSpec, main, args, result_q) -> None:
@@ -796,23 +811,35 @@ class ProcsWorld:
         from multiprocessing import shared_memory
 
         segments = []
-        board_seg = shared_memory.SharedMemory(
-            name=_board_name(token), create=True,
-            size=_StatusBoard.nbytes(self.size),
-        )
-        board_seg.buf[:_StatusBoard.nbytes(self.size)] = \
-            bytes(_StatusBoard.nbytes(self.size))
-        segments.append(board_seg)
-        for src in range(self.size):
-            for dst in range(self.size):
-                if src == dst:
-                    continue
-                seg = shared_memory.SharedMemory(
-                    name=_ring_name(token, src, dst), create=True,
-                    size=_RING_CTRL_BYTES + self.ring_bytes,
-                )
-                _RING_CTRL.pack_into(seg.buf, 0, 0, 0)
-                segments.append(seg)
+        try:
+            board_seg = shared_memory.SharedMemory(
+                name=_board_name(token), create=True,
+                size=_StatusBoard.nbytes(self.size),
+            )
+            board_seg.buf[:_StatusBoard.nbytes(self.size)] = \
+                bytes(_StatusBoard.nbytes(self.size))
+            segments.append(board_seg)
+            for src in range(self.size):
+                for dst in range(self.size):
+                    if src == dst:
+                        continue
+                    seg = shared_memory.SharedMemory(
+                        name=_ring_name(token, src, dst), create=True,
+                        size=_RING_CTRL_BYTES + self.ring_bytes,
+                    )
+                    _RING_CTRL.pack_into(seg.buf, 0, 0, 0)
+                    segments.append(seg)
+        except BaseException:
+            # A mid-loop failure (name collision, /dev/shm full) must
+            # not orphan the segments already created: /dev/shm
+            # persists past process exit.
+            for seg in segments:
+                seg.close()
+                try:
+                    seg.unlink()
+                except FileNotFoundError:
+                    pass
+            raise
         return board_seg, segments
 
     def _child_args(self, args: tuple) -> tuple:
@@ -862,24 +889,30 @@ class ProcsWorld:
 
         ctx = get_context("spawn")
         token = f"{os.getpid():x}{os.urandom(4).hex()}"
-        board_seg, segments = self._create_segments(token)
-        board = _StatusBoard(board_seg, self.size)
-        locks = {
-            (src, dst): ctx.Lock()
-            for src in range(self.size)
-            for dst in range(self.size)
-            if src != dst
-        }
-        spec = WorldSpec(token=token, size=self.size, timeout=self.timeout,
-                         ring_bytes=self.ring_bytes, locks=locks)
-        child_args = self._child_args(args)
         result_q = ctx.Queue()
         stop = threading.Event()
         procs: list = []
+        segments: list = []
+        killer: threading.Thread | None = None
         results: dict[int, Any] = {}
         failures: dict[int, BaseException] = {}
         killed_note: dict[int, str] = {}
         try:
+            # Segments are created inside the try so a failure anywhere
+            # below (lock allocation, spawn, the wait loop) still
+            # reaches the unlink in the finally.
+            board_seg, segments = self._create_segments(token)
+            board = _StatusBoard(board_seg, self.size)
+            locks = {
+                (src, dst): ctx.Lock()
+                for src in range(self.size)
+                for dst in range(self.size)
+                if src != dst
+            }
+            spec = WorldSpec(token=token, size=self.size,
+                             timeout=self.timeout,
+                             ring_bytes=self.ring_bytes, locks=locks)
+            child_args = self._child_args(args)
             for rank in range(self.size):
                 p = ctx.Process(
                     target=_child_entry,
@@ -888,7 +921,7 @@ class ProcsWorld:
                 )
                 p.start()
                 procs.append(p)
-            self._start_killer(board, procs, stop)
+            killer = self._start_killer(board, procs, stop)
 
             death_seen: dict[int, float] = {}
             while len(results) + len(failures) < self.size:
@@ -928,6 +961,10 @@ class ProcsWorld:
                         board.set_abort()
         finally:
             stop.set()
+            if killer is not None:
+                # The killer polls the status board; join it before the
+                # segments it reads are closed and unlinked below.
+                killer.join(timeout=1.0)
             for p in procs:
                 p.join(timeout=5.0)
             for p in procs:

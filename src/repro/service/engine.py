@@ -323,10 +323,16 @@ class JobEngine:
         override the service defaults for this job.
         """
         cfg = self.config
+        # Request hashing and the cache probe do real IO (a restart
+        # checkpoint is CRC'd into the key; the cache reads payload
+        # files from disk) -- do all of it before taking the engine
+        # lock so submit never stalls the supervisor/drain paths.
+        key = request.key()
+        payload = request.to_payload()
+        hit = self.cache.get(key)
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("service is draining or stopped")
-            key = request.key()
             self.counters["submitted"] += 1
             if self.breaker.is_open(key):
                 self.counters["poisoned"] += 1
@@ -334,7 +340,6 @@ class JobEngine:
                     key, request, POISONED, error=self.breaker.error(key)
                 )
                 return JobHandle(self, job)
-            hit = self.cache.get(key)
             if hit is not None:
                 meta, payload = hit
                 self.counters["cache_hits"] += 1
@@ -349,8 +354,8 @@ class JobEngine:
             if active is not None and not active.done.is_set():
                 self.counters["dedup_joined"] += 1
                 return JobHandle(self, active)
-            job = self._new_job_locked(request, key, priority, fault_plan,
-                                       timeout, max_attempts)
+            job = self._new_job_locked(request, key, payload, priority,
+                                       fault_plan, timeout, max_attempts)
             decision, displaced = self.queue.offer(priority, job.seq, job)
             if displaced is not None:
                 self.counters["shed"] += 1
@@ -370,7 +375,7 @@ class JobEngine:
         self._wake.set()
         return JobHandle(self, job)
 
-    def _new_job_locked(self, request, key, priority, fault_plan,
+    def _new_job_locked(self, request, key, payload, priority, fault_plan,
                         timeout, max_attempts) -> _Job:
         cfg = self.config
         seq = self._next_seq
@@ -382,7 +387,7 @@ class JobEngine:
             seq=seq,
             key=key,
             request=request,
-            payload=request.to_payload(),
+            payload=payload,
             priority=priority,
             timeout=cfg.job_timeout if timeout is None else timeout,
             max_attempts=(cfg.backoff.max_attempts
@@ -476,6 +481,7 @@ class JobEngine:
             except queue_mod.Empty:
                 return
             wid, seq, status, body, counters, hits = msg
+            write_back = None
             with self._lock:
                 job = self._jobs.get(seq)
                 worker = self.pool.workers.get(wid)
@@ -489,8 +495,7 @@ class JobEngine:
                     job.attempts = max(job.attempts, 1)
                     self.breaker.record_success(job.key)
                     self.counters["computed"] += 1
-                    self._complete_locked(job, body, cached=False)
-                    self._write_cache(job, body)
+                    write_back = job
                 else:
                     # Graceful failure: retire the worker so any retry
                     # lands on a fresh process.
@@ -502,6 +507,16 @@ class JobEngine:
                         job, wid, body["kind"], body["retryable"],
                         body.get("cause", ""),
                     )
+            if write_back is not None:
+                # Cache persistence is disk IO (tmp + fsync + replace):
+                # it runs with the engine lock dropped, but *before*
+                # the job is marked done -- a waiter that resubmits on
+                # wake must find the entry already durable.
+                self._write_cache(write_back, body)
+                with self._lock:
+                    if not write_back.done.is_set():
+                        self._complete_locked(write_back, body,
+                                              cached=False)
 
     def _write_cache(self, job: _Job, payload: dict) -> None:
         meta = {

@@ -189,6 +189,15 @@ def worker_main(worker_id: int, task_q, result_q, hb) -> None:
                       dict(injector.counters), injector.hit_state()))
 
 
+def _close_queue(q) -> None:
+    """Close an mp.Queue and stop its feeder thread (idempotent)."""
+    try:
+        q.close()
+        q.join_thread()
+    except (OSError, ValueError):
+        pass
+
+
 @dataclass
 class WorkerHandle:
     """Parent-side state of one pool worker."""
@@ -326,6 +335,10 @@ class WorkerPool:
             w.process.join(timeout=0)
             if w.process.is_alive():
                 still.append(w)
+            else:
+                # The retiree is gone: release its private task queue
+                # (feeder thread + pipe fds) now rather than at GC time.
+                _close_queue(w.task_q)
         self._retiring = still
 
     def stop(self, graceful: bool = True, timeout: float = 10.0) -> None:
@@ -344,10 +357,15 @@ class WorkerPool:
             if w.process.is_alive():
                 w.process.terminate()
                 w.process.join(timeout=2.0)
+            if w.process.is_alive():
+                # terminate() (SIGTERM) can be shrugged off mid-kernel;
+                # the supervisor must not return with live children.
+                self.kill(w, "shutdown")
+                w.process.join(timeout=2.0)
+            _close_queue(w.task_q)
         self.workers.clear()
         self._retiring.clear()
-        self.result_q.close()
-        self.result_q.join_thread()
+        _close_queue(self.result_q)
 
     def snapshot(self) -> list[dict]:
         """Health view of the pool (list of JSON-able dicts)."""

@@ -148,11 +148,19 @@ def baseline_path(case: str, baseline_dir: str | None = None) -> str:
 def save_baseline(
     baseline: CaseBaseline, baseline_dir: str | None = None
 ) -> str:
-    """Write a baseline file (creating the directory); returns its path."""
+    """Write a baseline file (creating the directory); returns its path.
+
+    Atomic (tmp + fsync + ``os.replace``): baselines gate the
+    validation suite, so a half-written JSON must never be observable.
+    """
     path = baseline_path(baseline.case, baseline_dir)
     os.makedirs(os.path.dirname(path), exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
         fh.write(baseline.to_json())
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
     return path
 
 

@@ -28,6 +28,23 @@ def rng():
     return make_rng()
 
 
+@pytest.fixture
+def resource_ledger():
+    """Leak sanitizer around one test: segments/processes/threads.
+
+    Snapshots the ambient resource population before the test and, on
+    the way out, asserts nothing new survived (with a grace window for
+    ordinary wind-down).  Multi-process suites opt in with an autouse
+    wrapper -- see ``tests/test_service_chaos.py``.
+    """
+    from repro.analysis.syscheck import ResourceLedger
+
+    ledger = ResourceLedger()
+    ledger.begin()
+    yield ledger
+    ledger.assert_clean(grace=10.0)
+
+
 def make_uniform_aos(shape, rho=1000.0, u=(0.0, 0.0, 0.0), p=100.0,
                      material=LIQUID, dtype=np.float64):
     """Uniform AoS state array of the given spatial shape.

@@ -25,6 +25,14 @@ from repro.telemetry import read_flight
 
 BASE = dict(cells=16, block_size=8)
 
+
+@pytest.fixture(autouse=True)
+def _no_leaked_resources(resource_ledger):
+    """Every cross-backend test must wind down to zero leaked
+    segments, rank processes and threads (the RS acceptance bar,
+    enforced at runtime by the syscheck :class:`ResourceLedger`)."""
+    yield
+
 #: Diagnostics attributes compared series-wise across backends.
 DIAG_SERIES = ("max_pressure", "kinetic_energy", "vapor_volume",
                "equivalent_radius")

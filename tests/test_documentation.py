@@ -62,12 +62,14 @@ class TestTopLevelDocs:
         assert os.path.getsize(path) > 1000
 
     def test_design_confirms_paper(self):
-        text = open(os.path.join(REPO_ROOT, "DESIGN.md")).read()
+        with open(os.path.join(REPO_ROOT, "DESIGN.md")) as f:
+            text = f.read()
         assert "11 PFLOP/s" in text
         assert "matches the target paper" in text
 
     def test_experiments_covers_every_table(self):
-        text = open(os.path.join(REPO_ROOT, "EXPERIMENTS.md")).read()
+        with open(os.path.join(REPO_ROOT, "EXPERIMENTS.md")) as f:
+            text = f.read()
         for table in range(1, 11):
             assert f"Table {table}" in text, f"Table {table} not recorded"
         for fig in (1, 5, 7, 9):
@@ -80,5 +82,6 @@ class TestTopLevelDocs:
         for fname in os.listdir(bench_dir):
             if not fname.startswith("bench_"):
                 continue
-            text = open(os.path.join(bench_dir, fname)).read()
+            with open(os.path.join(bench_dir, fname)) as f:
+                text = f.read()
             assert "write_result(" in text, f"{fname} writes no artifact"

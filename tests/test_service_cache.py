@@ -5,6 +5,7 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -144,9 +145,8 @@ class TestResultCache:
         cache = ResultCache(str(tmp_path / "c"))
         key = "t" * 64
         path = cache.put(key, self.payload())
-        blob = open(path, "rb").read()
-        with open(path, "wb") as f:
-            f.write(blob[: len(blob) // 2])
+        blob = Path(path).read_bytes()
+        Path(path).write_bytes(blob[: len(blob) // 2])
         assert cache.get(key) is None  # miss, not an exception
         assert cache.counters["quarantined"] == 1
         assert key not in cache
@@ -159,9 +159,9 @@ class TestResultCache:
         cache = ResultCache(str(tmp_path / "c"))
         key = "f" * 64
         path = cache.put(key, self.payload())
-        blob = bytearray(open(path, "rb").read())
+        blob = bytearray(Path(path).read_bytes())
         blob[-1] ^= 0x40
-        open(path, "wb").write(bytes(blob))
+        Path(path).write_bytes(bytes(blob))
         assert cache.get(key) is None
         assert cache.counters["quarantined"] == 1
 
@@ -169,18 +169,18 @@ class TestResultCache:
         cache = ResultCache(str(tmp_path / "c"))
         key = "m" * 64
         path = cache.put(key, self.payload())
-        blob = bytearray(open(path, "rb").read())
+        blob = bytearray(Path(path).read_bytes())
         blob[_HEADER.size] ^= 0x01  # first meta byte
-        open(path, "wb").write(bytes(blob))
+        Path(path).write_bytes(bytes(blob))
         assert cache.get(key) is None
 
     def test_bad_magic_quarantined(self, tmp_path):
         cache = ResultCache(str(tmp_path / "c"))
         key = "g" * 64
         path = cache.put(key, self.payload())
-        blob = bytearray(open(path, "rb").read())
+        blob = bytearray(Path(path).read_bytes())
         blob[:4] = b"NOPE"
-        open(path, "wb").write(bytes(blob))
+        Path(path).write_bytes(bytes(blob))
         assert cache.get(key) is None
 
     def test_crc_catches_what_pickle_would_accept(self, tmp_path):
@@ -189,14 +189,14 @@ class TestResultCache:
         cache = ResultCache(str(tmp_path / "c"))
         key = "s" * 64
         path = cache.put(key, self.payload())
-        blob = open(path, "rb").read()
+        blob = Path(path).read_bytes()
         magic, meta_len, payload_len, meta_crc, payload_crc = \
             _HEADER.unpack_from(blob)
         evil = pickle.dumps({"final_field": np.zeros(1)})
         forged = (_HEADER.pack(MAGIC, meta_len, len(evil), meta_crc,
                                payload_crc)
                   + blob[_HEADER.size:_HEADER.size + meta_len] + evil)
-        open(path, "wb").write(forged)
+        Path(path).write_bytes(forged)
         assert cache.get(key) is None
         assert cache.counters["quarantined"] == 1
 

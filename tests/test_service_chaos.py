@@ -30,6 +30,14 @@ from repro.sim import SimulationConfig
 IC = ICSpec("uniform", {"rho": 1000.0, "p": 100.0})
 
 
+@pytest.fixture(autouse=True)
+def _no_leaked_resources(resource_ledger):
+    """Every chaos test must wind down to zero leaked segments,
+    worker processes and threads (the RS acceptance bar, enforced at
+    runtime by the syscheck :class:`ResourceLedger`)."""
+    yield
+
+
 def make_request(p=100.0, steps=3):
     cfg = SimulationConfig(cells=16, block_size=8, max_steps=steps,
                            diag_interval=1)
